@@ -1,0 +1,83 @@
+// Ablation: coupling strength (paper Sec. 2.3).
+//
+// "Although stronger couplings allow the system to converge to a ground
+//  state faster, coupling strength above a certain threshold can halt the
+//  oscillation of the ROSCs."
+//
+// Two experiments:
+//   1. Phase-domain: best/mean accuracy vs coupling gain Kc on the 400-node
+//      instance (the solution-quality window).
+//   2. Circuit-level: oscillation amplitude of a coupled pair vs B2B
+//      coupling strength -- demonstrating the oscillation-halt effect that
+//      only exists at waveform fidelity.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "msropm/analysis/experiments.hpp"
+#include "msropm/circuit/fabric.hpp"
+#include "msropm/core/runner.hpp"
+#include "msropm/graph/builders.hpp"
+#include "msropm/util/table.hpp"
+
+using namespace msropm;
+
+int main() {
+  std::printf("=== Ablation: coupling strength ===\n\n");
+
+  // --- 1. quality window (phase domain, 400-node instance) -----------------
+  std::printf("(1) accuracy vs coupling gain, 400-node instance, 16 iterations\n\n");
+  util::TextTable quality({"Kc [rad/s]", "Kc/Kc_nominal", "best acc",
+                           "mean acc", "stage1 best cut"});
+  const auto g = graph::kings_graph_square(20);
+  const double nominal = analysis::default_machine_config().network.coupling_gain;
+  for (double scale : {0.01, 0.05, 0.25, 0.5, 1.0, 1.5, 2.0, 4.0}) {
+    auto cfg = analysis::default_machine_config();
+    cfg.network.coupling_gain = nominal * scale;
+    core::MultiStagePottsMachine machine(g, cfg);
+    core::RunnerOptions opts;
+    opts.iterations = 16;
+    opts.seed = 5;
+    const auto summary = core::run_iterations(machine, opts);
+    const auto cuts = summary.stage1_cut_series();
+    quality.add_row({util::format_sci(cfg.network.coupling_gain, 1),
+                     util::format_double(scale, 2),
+                     util::format_double(summary.best_accuracy, 3),
+                     util::format_double(summary.mean_accuracy, 3),
+                     util::format_double(
+                         *std::max_element(cuts.begin(), cuts.end()), 0)});
+  }
+  std::printf("%s\n", quality.render().c_str());
+
+  // --- 2. oscillation halt (circuit level) --------------------------------
+  std::printf("(2) circuit-level oscillation vs B2B strength (coupled pair)\n\n");
+  util::TextTable halt({"coupling_strength", "V_pp osc0 [V]", "freq [GHz]",
+                        "oscillating?"});
+  const auto pair = graph::path_graph(2);
+  for (double strength : {0.05, 0.12, 0.3, 0.6, 1.2, 2.5, 5.0}) {
+    auto params = circuit::FabricParams::paper_defaults();
+    params.coupling_strength = strength;
+    circuit::RoscFabric fabric(pair, params);
+    util::Rng rng(3);
+    fabric.randomize(rng);
+    fabric.set_couplings_enabled(true);
+    double vmin = 1.0;
+    double vmax = 0.0;
+    fabric.run(10e-9);  // settle
+    fabric.run(5e-9, [&](const circuit::RoscFabric& f) {
+      vmin = std::min(vmin, f.output(0));
+      vmax = std::max(vmax, f.output(0));
+    });
+    const double vpp = vmax - vmin;
+    const double freq = fabric.measured_frequency(0);
+    halt.add_row({util::format_double(strength, 2),
+                  util::format_double(vpp, 3),
+                  util::format_double(freq * 1e-9, 2),
+                  vpp > 0.5 ? "yes" : "HALTED"});
+  }
+  std::printf("%s\n", halt.render().c_str());
+  std::printf("Expected shape: a broad quality plateau around the nominal\n"
+              "gain with degradation at the weak end, and amplitude collapse\n"
+              "(oscillation halt) once B2B drive rivals the ring drive.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation: oscillator frequency mismatch (process variation).
+//
+// The paper simulates nominally identical 1.3 GHz ROSCs; a fabricated 65 nm
+// array has per-oscillator frequency spread from process variation. The
+// SHIL can only capture an oscillator whose residual detune lies inside its
+// Adler lock range (~Ks), and coupled annealing degrades gracefully before
+// that. This bench sweeps the mismatch sigma on the 400-node instance to
+// locate the tolerance boundary -- the design margin a tape-out would need.
+
+#include <cstdio>
+
+#include "msropm/analysis/experiments.hpp"
+#include "msropm/core/machine.hpp"
+#include "msropm/core/runner.hpp"
+#include "msropm/graph/builders.hpp"
+#include "msropm/util/table.hpp"
+
+using namespace msropm;
+
+int main() {
+  std::printf("=== Ablation: oscillator frequency mismatch ===\n");
+  std::printf("(400-node instance, 16 iterations per point, seed 13;\n");
+  std::printf(" lock range ~ Ks = %.2g rad/s = %.0f MHz)\n\n",
+              analysis::default_machine_config().network.shil_gain,
+              analysis::default_machine_config().network.shil_gain /
+                  (2.0 * 3.14159265358979) / 1e6);
+
+  const auto g = graph::kings_graph_square(20);
+  util::TextTable table({"mismatch sigma [MHz]", "sigma/f0 [%]", "best acc",
+                         "mean acc", "worst acc"});
+
+  for (const double sigma_mhz :
+       {0.0, 1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0}) {
+    auto cfg = analysis::default_machine_config();
+    cfg.network.frequency_mismatch_stddev_hz = sigma_mhz * 1e6;
+    core::MultiStagePottsMachine machine(g, cfg);
+    core::RunnerOptions opts;
+    opts.iterations = 16;
+    opts.seed = 13;
+    const auto summary = core::run_iterations(machine, opts);
+    table.add_row({util::format_double(sigma_mhz, 1),
+                   util::format_double(100.0 * sigma_mhz * 1e6 / 1.3e9, 2),
+                   util::format_double(summary.best_accuracy, 3),
+                   util::format_double(summary.mean_accuracy, 3),
+                   util::format_double(summary.worst_accuracy, 3)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape: flat until the detune tail approaches the SHIL lock\n"
+      "range (sigma ~ tens of MHz at the paper's gains), then accuracy\n"
+      "falls as unlockable oscillators scramble their groups' readouts.\n");
+  return 0;
+}

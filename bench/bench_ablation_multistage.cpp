@@ -1,0 +1,69 @@
+// Ablation: multi-stage divide-and-color vs single-stage N-SHIL (the
+// paper's Sec. 4.2 argument against the ROPM [14] mechanism: "The accuracy
+// of the Potts machine [14] is lower than the MSROPM showing the handicap
+// of the N-SHIL method").
+//
+// Both machines run on identical physics (same coupling gain, noise, total
+// annealing budget) across instance sizes; only the discretization strategy
+// differs: two cascaded order-2 SHIL stages vs one order-4 SHIL stage.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "msropm/analysis/experiments.hpp"
+#include "msropm/core/runner.hpp"
+#include "msropm/graph/builders.hpp"
+#include "msropm/solvers/nshil_ropm.hpp"
+#include "msropm/util/stats.hpp"
+#include "msropm/util/table.hpp"
+
+using namespace msropm;
+
+int main() {
+  std::printf("=== Ablation: multi-stage (2x 2-SHIL) vs single-stage 4-SHIL ===\n");
+  std::printf("(identical physics, 24 iterations per point, seed 7)\n\n");
+
+  util::TextTable table({"instance", "MSROPM best", "MSROPM mean",
+                         "4-SHIL best", "4-SHIL mean", "multi-stage gain"});
+
+  for (std::size_t side : {7, 14, 20, 32}) {
+    const auto g = graph::kings_graph_square(side);
+
+    // Multi-stage machine.
+    core::MultiStagePottsMachine ms(g, analysis::default_machine_config());
+    core::RunnerOptions opts;
+    opts.iterations = 24;
+    opts.seed = 7;
+    const auto ms_summary = core::run_iterations(ms, opts);
+
+    // Single-stage 4-SHIL machine with a matched annealing budget (its one
+    // anneal window gets both 20 ns windows of the two-stage flow).
+    solvers::NShilRopmConfig cfg;
+    cfg.num_colors = 4;
+    cfg.network = analysis::default_machine_config().network;
+    cfg.anneal_s = 40e-9;
+    solvers::NShilRopm ss(g, cfg);
+    util::RunningStats ss_stats;
+    double ss_best = 0.0;
+    for (std::uint64_t seed = 0; seed < 24; ++seed) {
+      util::Rng rng(7000 + seed);
+      const double acc = graph::coloring_accuracy(g, ss.solve(rng).colors);
+      ss_stats.add(acc);
+      ss_best = std::max(ss_best, acc);
+    }
+
+    table.add_row({std::to_string(g.num_nodes()) + "-node",
+                   util::format_double(ms_summary.best_accuracy, 3),
+                   util::format_double(ms_summary.mean_accuracy, 3),
+                   util::format_double(ss_best, 3),
+                   util::format_double(ss_stats.mean(), 3),
+                   util::format_double(
+                       ms_summary.mean_accuracy - ss_stats.mean(), 3)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected shape: positive multi-stage gain at every size --\n"
+              "cascaded binary discretization avoids the shallow lock basins\n"
+              "of order-4 SHIL (the paper's Sec. 4.2 claim).\n");
+  return 0;
+}

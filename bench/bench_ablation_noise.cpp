@@ -1,0 +1,49 @@
+// Ablation: phase noise (jitter) level.
+//
+// The paper relies on jitter twice: to randomize initial phases ("set free
+// ... to randomly drift apart from each other through jitter", Sec. 4) and
+// implicitly as the annealing perturbation of self-annealing fabrics [18].
+// This bench sweeps the jitter intensity on the 400-node instance showing
+// the annealing window: too little traps the network in shallow minima of a
+// deterministic quench, too much destroys lock decisions.
+
+#include <cmath>
+#include <cstdio>
+
+#include "msropm/analysis/experiments.hpp"
+#include "msropm/core/runner.hpp"
+#include "msropm/graph/builders.hpp"
+#include "msropm/util/table.hpp"
+
+using namespace msropm;
+
+int main() {
+  std::printf("=== Ablation: phase-noise (jitter) level ===\n");
+  std::printf("(400-node instance, 16 iterations per point, seed 11)\n\n");
+
+  const auto g = graph::kings_graph_square(20);
+  util::TextTable table({"sigma [rad/sqrt(s)]", "drift over 20 ns [rad]",
+                         "best acc", "mean acc", "worst acc"});
+
+  for (double sigma : {0.0, 5e2, 1e3, 2e3, 4e3, 1e4, 3e4, 1e5}) {
+    auto cfg = analysis::default_machine_config();
+    cfg.network.noise_stddev = sigma;
+    core::MultiStagePottsMachine machine(g, cfg);
+    core::RunnerOptions opts;
+    opts.iterations = 16;
+    opts.seed = 11;
+    const auto summary = core::run_iterations(machine, opts);
+    const double drift = sigma * std::sqrt(20e-9);
+    table.add_row({util::format_sci(sigma, 1),
+                   util::format_double(drift, 3),
+                   util::format_double(summary.best_accuracy, 3),
+                   util::format_double(summary.mean_accuracy, 3),
+                   util::format_double(summary.worst_accuracy, 3)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Expected shape: a broad plateau for drift << 1 rad per anneal\n"
+              "window, then degradation once jitter competes with the lock\n"
+              "basins (drift approaching pi/2).\n");
+  return 0;
+}

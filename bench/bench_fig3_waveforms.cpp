@@ -1,0 +1,61 @@
+// Regenerates paper Fig. 3: simulated ROSC waveforms showing the progression
+// of the MSROPM computation cycles on the waveform-level circuit engine.
+//
+// A 3x3 King's-graph instance runs the full two-stage control sequence:
+//   a) couplings ON          b) SHIL 1 ON (2-phase lock)
+//   c) SHIL/couplings OFF    d) partition couplings ON
+//   e) SHIL 1 / SHIL 2 ON (4-phase lock)
+// The bench prints an ASCII oscillogram of three probe oscillators with the
+// control rows underneath and writes the full waveform CSV next to the
+// binary (fig3_waveforms.csv) for plotting.
+
+#include <cstdio>
+
+#include "msropm/circuit/waveform.hpp"
+#include "msropm/core/circuit_machine.hpp"
+#include "msropm/graph/builders.hpp"
+#include "msropm/util/table.hpp"
+
+using namespace msropm;
+
+int main() {
+  std::printf("=== Figure 3: MSROPM computation-cycle waveforms ===\n");
+  std::printf("(3x3 King's graph on the circuit-level engine, 60 ns schedule)\n\n");
+
+  const auto g = graph::kings_graph(3, 3);
+  core::CircuitMsropmConfig cfg;  // full paper schedule
+  core::CircuitMsropm machine(g, cfg);
+
+  circuit::WaveformRecorder recorder({0, 4, 8}, /*stride=*/25);
+  util::Rng rng(11);
+
+  std::printf("control transitions:\n");
+  const auto result = machine.solve(
+      rng,
+      [](const char* label, const circuit::RoscFabric& fabric) {
+        std::printf("  t=%6.2f ns : %-13s (couplings %s, SHIL %s)\n",
+                    fabric.time() * 1e9, label,
+                    fabric.couplings_enabled() ? "ON " : "off",
+                    fabric.shil_enabled() ? "ON " : "off");
+      },
+      std::ref(recorder));
+
+  std::printf("\nASCII oscillogram (probes: osc0 corner, osc4 center, osc8 corner;\n");
+  std::printf("'#' = output above VDD/2; control rows: '^' = asserted):\n\n");
+  std::printf("%s\n", recorder.render_ascii(110).c_str());
+
+  std::printf("stage-1 readout bits: ");
+  for (auto b : result.stage1_bits) std::printf("%u", b);
+  std::printf("  (cut %zu of %zu edges)\n", result.stage1_cut, g.num_edges());
+
+  std::printf("final colors:         ");
+  for (auto c : result.colors) std::printf("%u", c);
+  std::printf("  (accuracy %.3f)\n",
+              graph::coloring_accuracy(g, result.colors));
+
+  const std::string csv_path = "fig3_waveforms.csv";
+  util::write_file(csv_path, recorder.to_csv());
+  std::printf("\nfull waveforms written to %s (%zu samples)\n", csv_path.c_str(),
+              recorder.samples().size());
+  return 0;
+}

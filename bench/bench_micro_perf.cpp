@@ -1,0 +1,100 @@
+// google-benchmark microbenchmarks of the simulation substrates: phase-engine
+// step throughput (the cost driver of every experiment), circuit-engine
+// transient cost, SAT exact-coloring baseline and SA kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "msropm/analysis/experiments.hpp"
+#include "msropm/circuit/fabric.hpp"
+#include "msropm/core/machine.hpp"
+#include "msropm/graph/builders.hpp"
+#include "msropm/phase/network.hpp"
+#include "msropm/sat/coloring_encoder.hpp"
+#include "msropm/solvers/maxcut_sa.hpp"
+#include "msropm/solvers/sa_potts.hpp"
+
+using namespace msropm;
+
+namespace {
+
+void BM_PhaseEngineStep(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::kings_graph_square(side);
+  phase::PhaseNetwork net(g, analysis::default_machine_config().network);
+  net.set_couplings_active(true);
+  util::Rng rng(1);
+  net.randomize_phases(rng);
+  for (auto _ : state) {
+    net.step(rng);
+    benchmark::DoNotOptimize(net.phases().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_PhaseEngineStep)->Arg(7)->Arg(20)->Arg(32)->Arg(46);
+
+void BM_MsropmFullSolve(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::kings_graph_square(side);
+  core::MultiStagePottsMachine machine(g, analysis::default_machine_config());
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.solve(rng).colors.data());
+  }
+}
+BENCHMARK(BM_MsropmFullSolve)->Arg(7)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_CircuitFabricStep(benchmark::State& state) {
+  const auto g = graph::kings_graph(3, 3);
+  circuit::RoscFabric fabric(g, circuit::FabricParams::paper_defaults());
+  fabric.set_couplings_enabled(true);
+  for (auto _ : state) {
+    fabric.step();
+    benchmark::DoNotOptimize(fabric.output(0));
+  }
+}
+BENCHMARK(BM_CircuitFabricStep);
+
+void BM_SatExactColoring(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::kings_graph_square(side);
+  for (auto _ : state) {
+    auto coloring = sat::solve_exact_coloring(g, 4);
+    benchmark::DoNotOptimize(coloring);
+  }
+}
+BENCHMARK(BM_SatExactColoring)->Arg(7)->Arg(20)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SaPotts(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::kings_graph_square(side);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    auto result = solvers::solve_sa_potts(g, solvers::SaPottsOptions{}, rng);
+    benchmark::DoNotOptimize(result.conflicts);
+  }
+}
+BENCHMARK(BM_SaPotts)->Arg(7)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_MaxCutSa(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::kings_graph_square(side);
+  util::Rng rng(4);
+  for (auto _ : state) {
+    auto result = solvers::solve_maxcut_sa(g, solvers::MaxCutSaOptions{}, rng);
+    benchmark::DoNotOptimize(result.cut);
+  }
+}
+BENCHMARK(BM_MaxCutSa)->Arg(7)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_KingsGraphConstruction(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto g = graph::kings_graph_square(side);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_KingsGraphConstruction)->Arg(20)->Arg(46);
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Extension (paper Sec. 5): K = 8 coloring in three stages.
+//
+// "The proposed MSROPM can be extended to solve COPs with more spin-values"
+// -- each extra stage adds one bit per oscillator: stage k splits every
+// current group with a SHIL shifted by pi * sum(b_j / 2^j), ending with
+// 2^m equally spaced lock phases. This example runs the 3-stage machine on
+// a graph that actually needs 8 colors (it contains K8 cliques) and shows
+// the per-stage cut progression.
+//
+// Run: ./build/examples/eight_coloring [iterations] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "msropm/analysis/experiments.hpp"
+#include "msropm/core/machine.hpp"
+#include "msropm/core/runner.hpp"
+#include "msropm/graph/builders.hpp"
+#include "msropm/graph/coloring.hpp"
+#include "msropm/sat/coloring_encoder.hpp"
+#include "msropm/util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msropm;
+
+  const std::size_t iterations =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 24;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 3;
+
+  // K8-in-a-ring: 8 cliques of 8 nodes chained into a cycle. Chromatic
+  // number exactly 8 (each clique forces all 8 colors).
+  graph::GraphBuilder builder(64);
+  for (int c = 0; c < 8; ++c) {
+    for (int i = 0; i < 8; ++i) {
+      for (int j = i + 1; j < 8; ++j) {
+        builder.add_edge(static_cast<graph::NodeId>(8 * c + i),
+                         static_cast<graph::NodeId>(8 * c + j));
+      }
+    }
+    // One bridge edge to the next clique.
+    builder.add_edge(static_cast<graph::NodeId>(8 * c),
+                     static_cast<graph::NodeId>(8 * ((c + 1) % 8) + 1));
+  }
+  const graph::Graph g = builder.build();
+  std::printf("problem: 8 chained K8 cliques, %zu nodes, %zu edges\n",
+              g.num_nodes(), g.num_edges());
+
+  const auto exact = sat::solve_exact_coloring(g, 8);
+  std::printf("SAT: 8-coloring %s\n", exact ? "exists" : "does NOT exist");
+
+  core::MsropmConfig config = analysis::default_machine_config();
+  config.num_colors = 8;  // 3 stages, 8 lock phases (45 deg apart)
+  const core::MultiStagePottsMachine machine(g, config);
+  std::printf("machine: %u stages, %.0f ns per run, lock phases every %.1f deg\n",
+              config.num_stages(), config.total_time_s() * 1e9,
+              360.0 / config.num_colors);
+
+  core::RunnerOptions opts;
+  opts.iterations = iterations;
+  opts.seed = seed;
+  const auto summary = core::run_iterations(machine, opts);
+
+  std::printf("accuracy: best %.3f  mean %.3f  worst %.3f\n",
+              summary.best_accuracy, summary.mean_accuracy,
+              summary.worst_accuracy);
+
+  // Per-stage cut progression of the best iteration: each stage should cut
+  // a sizeable fraction of the edges still active in its groups.
+  const auto& best = summary.iterations[summary.best_index].result;
+  for (std::size_t s = 0; s < best.stages.size(); ++s) {
+    const auto& st = best.stages[s];
+    std::printf("stage %zu: cut %zu of %zu active edges (worst lock residual "
+                "%.3f rad)\n",
+                s + 1, st.cut_edges, st.active_edges, st.max_lock_residual);
+  }
+  std::printf("colors used: %zu of 8\n",
+              graph::colors_used(summary.best_coloring()));
+  return 0;
+}

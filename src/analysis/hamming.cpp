@@ -1,0 +1,70 @@
+#include "msropm/analysis/hamming.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace msropm::analysis {
+
+double hamming_distance(const graph::Coloring& a, const graph::Coloring& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("hamming_distance: size mismatch");
+  }
+  if (a.empty()) return 0.0;
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++differing;
+  }
+  return static_cast<double>(differing) / static_cast<double>(a.size());
+}
+
+double hamming_distance_invariant(const graph::Coloring& a,
+                                  const graph::Coloring& b,
+                                  unsigned num_colors) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("hamming_distance_invariant: size mismatch");
+  }
+  if (num_colors == 0 || num_colors > 8) {
+    throw std::invalid_argument("hamming_distance_invariant: 1 <= K <= 8");
+  }
+  if (a.empty()) return 0.0;
+  std::vector<graph::Color> perm(num_colors);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::size_t best = a.size();
+  do {
+    std::size_t differing = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const graph::Color mapped =
+          b[i] < num_colors ? perm[b[i]] : b[i];  // out-of-range passes through
+      if (a[i] != mapped) ++differing;
+    }
+    best = std::min(best, differing);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return static_cast<double>(best) / static_cast<double>(a.size());
+}
+
+std::vector<double> pairwise_hamming(const std::vector<graph::Coloring>& solutions) {
+  std::vector<double> out;
+  out.reserve(solutions.size() * (solutions.size() - 1) / 2);
+  for (std::size_t i = 0; i < solutions.size(); ++i) {
+    for (std::size_t j = i + 1; j < solutions.size(); ++j) {
+      out.push_back(hamming_distance(solutions[i], solutions[j]));
+    }
+  }
+  return out;
+}
+
+std::vector<double> pairwise_hamming_invariant(
+    const std::vector<graph::Coloring>& solutions, unsigned num_colors) {
+  std::vector<double> out;
+  out.reserve(solutions.size() * (solutions.size() - 1) / 2);
+  for (std::size_t i = 0; i < solutions.size(); ++i) {
+    for (std::size_t j = i + 1; j < solutions.size(); ++j) {
+      out.push_back(
+          hamming_distance_invariant(solutions[i], solutions[j], num_colors));
+    }
+  }
+  return out;
+}
+
+}  // namespace msropm::analysis

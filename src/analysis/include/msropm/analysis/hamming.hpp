@@ -1,0 +1,32 @@
+#pragma once
+// Hamming-distance analysis of solution sets (paper Fig. 5c): "Hamming
+// distances between the solutions obtained by the MSROPM are presented in
+// the histograms ... as an indication of how different the solutions are
+// from each other."
+
+#include <vector>
+
+#include "msropm/graph/coloring.hpp"
+
+namespace msropm::analysis {
+
+/// Normalized Hamming distance: fraction of nodes whose colors differ.
+[[nodiscard]] double hamming_distance(const graph::Coloring& a,
+                                      const graph::Coloring& b);
+
+/// Color-permutation-invariant Hamming distance: minimum over all
+/// permutations of the color labels of b (proper colorings are equivalent
+/// up to relabeling; 4 colors -> 24 permutations).
+[[nodiscard]] double hamming_distance_invariant(const graph::Coloring& a,
+                                                const graph::Coloring& b,
+                                                unsigned num_colors);
+
+/// All pairwise distances among a set of solutions (size k*(k-1)/2).
+[[nodiscard]] std::vector<double> pairwise_hamming(
+    const std::vector<graph::Coloring>& solutions);
+
+/// All pairwise permutation-invariant distances.
+[[nodiscard]] std::vector<double> pairwise_hamming_invariant(
+    const std::vector<graph::Coloring>& solutions, unsigned num_colors);
+
+}  // namespace msropm::analysis

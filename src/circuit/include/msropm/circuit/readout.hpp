@@ -1,0 +1,61 @@
+#pragma once
+// DFF-based phase-readout block (paper Fig. 4c).
+//
+// Four (generally K) reference pulse trains REF_1..REF_K at the oscillator
+// frequency, each high for 1/K of the period and offset by k/K, feed the D
+// inputs of K flip-flops clocked by the ROSC output rising edge. At a rising
+// edge exactly one REF is high, so exactly one DFF captures 1 -- identifying
+// the phase bucket (= Potts spin / color) with resolution 2*pi/K.
+
+#include <cstdint>
+#include <vector>
+
+namespace msropm::circuit {
+
+class RoscFabric;
+
+/// One reference pulse train: high on [offset, offset + 1/K) of each period.
+struct ReferenceSignal {
+  double period_s;
+  double offset_fraction;   // [0, 1)
+  double duty_fraction;     // typically 1/K
+  [[nodiscard]] bool high(double t) const noexcept;
+};
+
+/// Bank of K DFFs sampling the reference signals on the oscillator edge.
+class PhaseReadout {
+ public:
+  /// num_buckets = number of representable Potts spins (4 for 4-coloring);
+  /// sampling_skew rotates all reference windows (calibration margin).
+  PhaseReadout(std::size_t num_oscillators, unsigned num_buckets,
+               double reference_period_s, double sampling_skew_fraction = 0.0);
+
+  [[nodiscard]] unsigned num_buckets() const noexcept { return num_buckets_; }
+  [[nodiscard]] const std::vector<ReferenceSignal>& references() const noexcept {
+    return refs_;
+  }
+
+  /// Latch the bucket of one oscillator from a rising-edge timestamp.
+  void capture(std::size_t osc, double edge_time_s);
+
+  /// Latched one-hot DFF outputs PH_1..PH_K for an oscillator.
+  [[nodiscard]] std::vector<std::uint8_t> dff_outputs(std::size_t osc) const;
+  /// Bucket index (color) of an oscillator; requires a prior capture.
+  [[nodiscard]] unsigned bucket(std::size_t osc) const;
+  [[nodiscard]] bool captured(std::size_t osc) const;
+
+  /// Capture every oscillator of a fabric from its last recorded rising
+  /// edge (detectors must have seen at least one edge).
+  void capture_all(const RoscFabric& fabric);
+
+  /// All buckets as a vector (throws if any oscillator never captured).
+  [[nodiscard]] std::vector<std::uint8_t> buckets() const;
+
+ private:
+  unsigned num_buckets_;
+  double period_;
+  std::vector<ReferenceSignal> refs_;
+  std::vector<int> latched_;  // -1 = never captured
+};
+
+}  // namespace msropm::circuit

@@ -1,0 +1,58 @@
+#pragma once
+// Waveform capture for the circuit engine: samples selected oscillator
+// outputs plus the control-signal states each step, exports CSV, and renders
+// a coarse ASCII oscillogram. Reproduces paper Fig. 3 (simulated ROSC
+// waveforms across the MSROPM computation cycles).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msropm::circuit {
+
+class RoscFabric;
+
+struct WaveformSample {
+  double time_s = 0.0;
+  std::vector<double> outputs;       // one per probed oscillator
+  std::uint8_t couplings_on = 0;
+  std::uint8_t shil_on = 0;
+};
+
+class WaveformRecorder {
+ public:
+  /// Probe the given oscillators, keeping every stride-th sample.
+  WaveformRecorder(std::vector<std::size_t> probes, std::size_t stride = 1);
+
+  /// Observer matching RoscFabric::run.
+  void operator()(const RoscFabric& fabric);
+
+  [[nodiscard]] const std::vector<WaveformSample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& probes() const noexcept {
+    return probes_;
+  }
+  void clear() noexcept;
+
+  /// CSV: time_ns, couplings, shil, vout_<probe>...
+  [[nodiscard]] std::string to_csv() const;
+
+  /// ASCII oscillogram: one row per probe, '#' above midpoint, '.' below,
+  /// column per sample bucket; control-state row at the bottom.
+  [[nodiscard]] std::string render_ascii(std::size_t width = 100,
+                                         double vdd = 1.0) const;
+
+  /// IEEE 1364 VCD dump viewable in GTKWave: one `real` variable per probed
+  /// output plus 1-bit wires for the coupling and SHIL enables. Timescale
+  /// 1 ps; values are emitted on change only.
+  [[nodiscard]] std::string to_vcd() const;
+
+ private:
+  std::vector<std::size_t> probes_;
+  std::size_t stride_;
+  std::size_t counter_ = 0;
+  std::vector<WaveformSample> samples_;
+};
+
+}  // namespace msropm::circuit

@@ -1,0 +1,33 @@
+#include "msropm/circuit/inverter.hpp"
+
+#include <cmath>
+
+namespace msropm::circuit {
+
+double inverter_vtc(double vin, const InverterParams& p) noexcept {
+  const double x = -p.gain * (vin - p.threshold) / p.vdd;
+  return p.vdd / (1.0 + std::exp(-x));
+}
+
+double inverter_dvdt(double vin, double vout, const InverterParams& p) noexcept {
+  return (inverter_vtc(vin, p) - vout) / p.tau;
+}
+
+double estimate_ring_frequency(const InverterParams& p, unsigned stages) noexcept {
+  // Each stage delays by roughly tau * ln(2) (time for the single-pole
+  // response to cross midpoint) with a small correction for finite VTC slope.
+  // Empirical slope factor fitted against measure_ring_frequency for the
+  // default gain/threshold (simulated 11-stage ring).
+  const double stage_delay = p.tau * 0.693 * 1.1265;
+  return 1.0 / (2.0 * static_cast<double>(stages) * stage_delay);
+}
+
+InverterParams calibrate_for_frequency(double f_target_hz, unsigned stages,
+                                       InverterParams base) noexcept {
+  InverterParams p = base;
+  // Invert the estimate for tau, keeping other parameters.
+  p.tau = 1.0 / (2.0 * static_cast<double>(stages) * 0.693 * 1.1265 * f_target_hz);
+  return p;
+}
+
+}  // namespace msropm::circuit

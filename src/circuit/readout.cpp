@@ -1,0 +1,85 @@
+#include "msropm/circuit/readout.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "msropm/circuit/fabric.hpp"
+
+namespace msropm::circuit {
+
+bool ReferenceSignal::high(double t) const noexcept {
+  double frac = std::fmod(t, period_s) / period_s;
+  if (frac < 0.0) frac += 1.0;
+  double rel = frac - offset_fraction;
+  if (rel < 0.0) rel += 1.0;
+  return rel < duty_fraction;
+}
+
+PhaseReadout::PhaseReadout(std::size_t num_oscillators, unsigned num_buckets,
+                           double reference_period_s, double sampling_skew_fraction)
+    : num_buckets_(num_buckets),
+      period_(reference_period_s),
+      latched_(num_oscillators, -1) {
+  if (num_buckets < 2) throw std::invalid_argument("PhaseReadout: buckets >= 2");
+  if (reference_period_s <= 0.0) {
+    throw std::invalid_argument("PhaseReadout: period > 0");
+  }
+  const double duty = 1.0 / static_cast<double>(num_buckets);
+  for (unsigned k = 0; k < num_buckets; ++k) {
+    // Window k is centered on lock phase k: offset by -duty/2 plus skew so a
+    // perfectly locked edge falls mid-window rather than on a boundary.
+    double offset = static_cast<double>(k) * duty - 0.5 * duty +
+                    sampling_skew_fraction;
+    offset = std::fmod(offset, 1.0);
+    if (offset < 0.0) offset += 1.0;
+    refs_.push_back(ReferenceSignal{period_, offset, duty});
+  }
+}
+
+void PhaseReadout::capture(std::size_t osc, double edge_time_s) {
+  if (osc >= latched_.size()) throw std::out_of_range("PhaseReadout::capture");
+  for (unsigned k = 0; k < num_buckets_; ++k) {
+    if (refs_[k].high(edge_time_s)) {
+      latched_[osc] = static_cast<int>(k);
+      return;
+    }
+  }
+  // The windows tile the full period, so one must be high; guard anyway.
+  throw std::logic_error("PhaseReadout: no reference high at edge");
+}
+
+std::vector<std::uint8_t> PhaseReadout::dff_outputs(std::size_t osc) const {
+  if (osc >= latched_.size()) throw std::out_of_range("PhaseReadout::dff_outputs");
+  std::vector<std::uint8_t> out(num_buckets_, 0);
+  if (latched_[osc] >= 0) out[static_cast<std::size_t>(latched_[osc])] = 1;
+  return out;
+}
+
+unsigned PhaseReadout::bucket(std::size_t osc) const {
+  if (osc >= latched_.size()) throw std::out_of_range("PhaseReadout::bucket");
+  if (latched_[osc] < 0) throw std::logic_error("PhaseReadout: not captured");
+  return static_cast<unsigned>(latched_[osc]);
+}
+
+bool PhaseReadout::captured(std::size_t osc) const {
+  if (osc >= latched_.size()) throw std::out_of_range("PhaseReadout::captured");
+  return latched_[osc] >= 0;
+}
+
+void PhaseReadout::capture_all(const RoscFabric& fabric) {
+  for (std::size_t o = 0; o < fabric.num_oscillators(); ++o) {
+    const auto& det = fabric.detector(o);
+    if (det.last_crossing() > 0.0) capture(o, det.last_crossing());
+  }
+}
+
+std::vector<std::uint8_t> PhaseReadout::buckets() const {
+  std::vector<std::uint8_t> out(latched_.size());
+  for (std::size_t o = 0; o < latched_.size(); ++o) {
+    if (latched_[o] < 0) throw std::logic_error("PhaseReadout: missing capture");
+    out[o] = static_cast<std::uint8_t>(latched_[o]);
+  }
+  return out;
+}
+
+}  // namespace msropm::circuit

@@ -1,0 +1,148 @@
+#include "msropm/circuit/waveform.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "msropm/circuit/fabric.hpp"
+
+namespace msropm::circuit {
+
+WaveformRecorder::WaveformRecorder(std::vector<std::size_t> probes,
+                                   std::size_t stride)
+    : probes_(std::move(probes)), stride_(stride) {
+  if (probes_.empty()) throw std::invalid_argument("WaveformRecorder: no probes");
+  if (stride_ == 0) throw std::invalid_argument("WaveformRecorder: stride >= 1");
+}
+
+void WaveformRecorder::operator()(const RoscFabric& fabric) {
+  if (counter_++ % stride_ != 0) return;
+  WaveformSample s;
+  s.time_s = fabric.time();
+  s.outputs.reserve(probes_.size());
+  for (std::size_t p : probes_) s.outputs.push_back(fabric.output(p));
+  s.couplings_on = fabric.couplings_enabled() ? 1 : 0;
+  s.shil_on = fabric.shil_enabled() ? 1 : 0;
+  samples_.push_back(std::move(s));
+}
+
+void WaveformRecorder::clear() noexcept {
+  samples_.clear();
+  counter_ = 0;
+}
+
+std::string WaveformRecorder::to_csv() const {
+  std::string out = "time_ns,couplings_on,shil_on";
+  for (std::size_t p : probes_) out += ",vout_" + std::to_string(p);
+  out += '\n';
+  char buf[64];
+  for (const WaveformSample& s : samples_) {
+    std::snprintf(buf, sizeof buf, "%.5f,%u,%u", s.time_s * 1e9, s.couplings_on,
+                  s.shil_on);
+    out += buf;
+    for (double v : s.outputs) {
+      std::snprintf(buf, sizeof buf, ",%.4f", v);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string WaveformRecorder::to_vcd() const {
+  std::string out;
+  out += "$timescale 1ps $end\n";
+  out += "$scope module msropm $end\n";
+  // Identifier codes: '!' onward, one printable char per signal.
+  char code = '!';
+  std::vector<char> probe_code(probes_.size());
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    probe_code[i] = code++;
+    out += "$var real 64 ";
+    out += probe_code[i];
+    out += " vout_" + std::to_string(probes_[i]) + " $end\n";
+  }
+  const char cpl_code = code++;
+  const char shil_code = code++;
+  out += std::string("$var wire 1 ") + cpl_code + " couplings_on $end\n";
+  out += std::string("$var wire 1 ") + shil_code + " shil_on $end\n";
+  out += "$upscope $end\n$enddefinitions $end\n";
+
+  char buf[96];
+  std::vector<double> last(probes_.size(),
+                           std::numeric_limits<double>::quiet_NaN());
+  int last_cpl = -1;
+  int last_shil = -1;
+  bool first = true;
+  for (const WaveformSample& s : samples_) {
+    std::string changes;
+    for (std::size_t i = 0; i < s.outputs.size(); ++i) {
+      if (first || s.outputs[i] != last[i]) {
+        std::snprintf(buf, sizeof buf, "r%.5f %c\n", s.outputs[i],
+                      probe_code[i]);
+        changes += buf;
+        last[i] = s.outputs[i];
+      }
+    }
+    if (first || static_cast<int>(s.couplings_on) != last_cpl) {
+      changes += s.couplings_on ? '1' : '0';
+      changes += cpl_code;
+      changes += '\n';
+      last_cpl = s.couplings_on;
+    }
+    if (first || static_cast<int>(s.shil_on) != last_shil) {
+      changes += s.shil_on ? '1' : '0';
+      changes += shil_code;
+      changes += '\n';
+      last_shil = s.shil_on;
+    }
+    if (!changes.empty()) {
+      std::snprintf(buf, sizeof buf, "#%lld\n",
+                    static_cast<long long>(s.time_s * 1e12));
+      out += buf;
+      if (first) out += "$dumpvars\n";
+      out += changes;
+      if (first) out += "$end\n";
+    }
+    first = false;
+  }
+  return out;
+}
+
+std::string WaveformRecorder::render_ascii(std::size_t width, double vdd) const {
+  if (samples_.empty() || width == 0) return "";
+  std::string out;
+  const std::size_t per_col =
+      std::max<std::size_t>(1, samples_.size() / width);
+  const std::size_t cols = (samples_.size() + per_col - 1) / per_col;
+  for (std::size_t row = 0; row < probes_.size(); ++row) {
+    out += "osc" + std::to_string(probes_[row]) + " |";
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Average the bucket to smooth ripple.
+      double acc = 0.0;
+      std::size_t count = 0;
+      for (std::size_t i = c * per_col;
+           i < std::min(samples_.size(), (c + 1) * per_col); ++i) {
+        acc += samples_[i].outputs[row];
+        ++count;
+      }
+      const double mean = count ? acc / static_cast<double>(count) : 0.0;
+      out += mean >= 0.5 * vdd ? '#' : '.';
+    }
+    out += "|\n";
+  }
+  auto control_row = [&](const char* name, auto getter) {
+    std::string line = std::string(name) + " |";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t i = std::min(samples_.size() - 1, c * per_col);
+      line += getter(samples_[i]) ? '^' : ' ';
+    }
+    return line + "|\n";
+  };
+  out += control_row("cpl ", [](const WaveformSample& s) { return s.couplings_on != 0; });
+  out += control_row("shil", [](const WaveformSample& s) { return s.shil_on != 0; });
+  return out;
+}
+
+}  // namespace msropm::circuit

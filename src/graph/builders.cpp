@@ -1,0 +1,155 @@
+#include "msropm/graph/builders.hpp"
+
+#include <stdexcept>
+
+namespace msropm::graph {
+
+Graph kings_graph(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("kings_graph: empty grid");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));                // E
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));                // S
+      if (r + 1 < rows && c + 1 < cols) b.add_edge(id(r, c), id(r + 1, c + 1));  // SE
+      if (r + 1 < rows && c > 0) b.add_edge(id(r, c), id(r + 1, c - 1));   // SW
+    }
+  }
+  return b.build();
+}
+
+Graph kings_graph_square(std::size_t side) { return kings_graph(side, side); }
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("grid_graph: empty grid");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph hex_lattice(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("hex_lattice: empty lattice");
+  }
+  // Brick-wall embedding of the honeycomb: a rows x cols grid where every
+  // node keeps its horizontal neighbors but vertical edges exist only when
+  // (r + c) is even -- giving degree <= 3 everywhere.
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows && (r + c) % 2 == 0) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph cycle_graph(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("cycle_graph: n >= 3 required");
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n));
+  }
+  return b.build();
+}
+
+Graph path_graph(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("path_graph: n >= 1 required");
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  return b.build();
+}
+
+Graph complete_graph(std::size_t n) {
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return b.build();
+}
+
+Graph complete_bipartite_graph(std::size_t a, std::size_t b_count) {
+  GraphBuilder b(a + b_count);
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < b_count; ++j) {
+      b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(a + j));
+    }
+  }
+  return b.build();
+}
+
+Graph erdos_renyi(std::size_t n, double p, util::Rng& rng) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("erdos_renyi: p in [0,1]");
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(p)) b.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return b.build();
+}
+
+Graph triangulated_grid(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  if (rows < 2 || cols < 2) {
+    throw std::invalid_argument("triangulated_grid: needs at least 2x2");
+  }
+  GraphBuilder b(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+      if (r + 1 < rows && c + 1 < cols) {
+        // One diagonal per unit square keeps the embedding planar.
+        if (rng.bernoulli(0.5)) {
+          b.add_edge(id(r, c), id(r + 1, c + 1));
+        } else {
+          b.add_edge(id(r, c + 1), id(r + 1, c));
+        }
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph star_graph(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("star_graph: n >= 1 required");
+  GraphBuilder b(n);
+  for (std::size_t i = 1; i < n; ++i) b.add_edge(0, static_cast<NodeId>(i));
+  return b.build();
+}
+
+Graph wheel_graph(std::size_t n) {
+  if (n < 4) throw std::invalid_argument("wheel_graph: n >= 4 required");
+  GraphBuilder b(n);
+  const std::size_t outer = n - 1;
+  for (std::size_t i = 0; i < outer; ++i) {
+    const auto a = static_cast<NodeId>(1 + i);
+    const auto c = static_cast<NodeId>(1 + (i + 1) % outer);
+    b.add_edge(a, c);
+    b.add_edge(0, a);
+  }
+  return b.build();
+}
+
+}  // namespace msropm::graph

@@ -1,0 +1,128 @@
+#include "msropm/graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace msropm::graph {
+
+GraphBuilder::GraphBuilder(std::size_t num_nodes) : n_(num_nodes), adj_(num_nodes) {}
+
+bool GraphBuilder::add_edge(NodeId u, NodeId v) {
+  if (u >= n_ || v >= n_) throw std::invalid_argument("GraphBuilder: node id out of range");
+  if (u == v) throw std::invalid_argument("GraphBuilder: self-loop rejected");
+  if (u > v) std::swap(u, v);
+  auto& nbrs = adj_[u];
+  if (std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end()) return false;
+  nbrs.push_back(v);
+  adj_[v].push_back(u);
+  edges_.push_back(Edge{u, v});
+  return true;
+}
+
+Graph GraphBuilder::build() const {
+  Graph g(n_);
+  g.edges_ = edges_;
+  std::sort(g.edges_.begin(), g.edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  g.offsets_.assign(n_ + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n_; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.adjacency_.assign(2 * g.edges_.size(), 0);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : g.edges_) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  for (std::size_t u = 0; u < n_; ++u) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u + 1]));
+  }
+  return g;
+}
+
+Graph::Graph(std::size_t num_nodes) : offsets_(num_nodes + 1, 0) {}
+
+std::span<const NodeId> Graph::neighbors(NodeId u) const {
+  if (u >= num_nodes()) throw std::out_of_range("Graph::neighbors");
+  return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+std::size_t Graph::degree(NodeId u) const {
+  if (u >= num_nodes()) throw std::out_of_range("Graph::degree");
+  return offsets_[u + 1] - offsets_[u];
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t u = 0; u < num_nodes(); ++u) {
+    best = std::max(best, offsets_[u + 1] - offsets_[u]);
+  }
+  return best;
+}
+
+double Graph::average_degree() const noexcept {
+  const std::size_t n = num_nodes();
+  if (n == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) / static_cast<double>(n);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes() || u == v) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::pair<std::vector<std::uint32_t>, std::size_t> Graph::connected_components() const {
+  const std::size_t n = num_nodes();
+  constexpr std::uint32_t kUnvisited = ~std::uint32_t{0};
+  std::vector<std::uint32_t> comp(n, kUnvisited);
+  std::size_t count = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (comp[start] != kUnvisited) continue;
+    const auto id = static_cast<std::uint32_t>(count++);
+    comp[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : neighbors(u)) {
+        if (comp[v] == kUnvisited) {
+          comp[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return {std::move(comp), count};
+}
+
+bool Graph::is_bipartite() const {
+  const std::size_t n = num_nodes();
+  std::vector<int> side(n, -1);
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (side[start] != -1) continue;
+    side[start] = 0;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : neighbors(u)) {
+        if (side[v] == -1) {
+          side[v] = 1 - side[u];
+          stack.push_back(v);
+        } else if (side[v] == side[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace msropm::graph

@@ -1,0 +1,63 @@
+#pragma once
+// Deterministic graph generators.
+//
+// The paper evaluates on custom King's-graph 4-coloring instances with
+// "all edges active (8 edges per node)" of sizes 49 (7x7), 400 (20x20),
+// 1024 (32x32) and 2116 (46x46). kings_graph() reconstructs those instances
+// exactly. The remaining generators provide test fixtures and the planar
+// instances used by the map-coloring example.
+
+#include <cstddef>
+
+#include "msropm/graph/graph.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace msropm::graph {
+
+/// rows x cols King's graph: nodes on a grid, edges to the 8 surrounding
+/// cells (chess-king moves). Interior nodes have degree 8. Node id layout is
+/// row-major: id = r * cols + c.
+[[nodiscard]] Graph kings_graph(std::size_t rows, std::size_t cols);
+
+/// Square King's graph of side k (the paper's instances are side
+/// 7, 20, 32, 46).
+[[nodiscard]] Graph kings_graph_square(std::size_t side);
+
+/// rows x cols 4-neighbor grid graph.
+[[nodiscard]] Graph grid_graph(std::size_t rows, std::size_t cols);
+
+/// Cycle C_n (n >= 3).
+[[nodiscard]] Graph cycle_graph(std::size_t n);
+
+/// Path P_n.
+[[nodiscard]] Graph path_graph(std::size_t n);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete_graph(std::size_t n);
+
+/// Complete bipartite graph K_{a,b}; nodes [0,a) on one side.
+[[nodiscard]] Graph complete_bipartite_graph(std::size_t a, std::size_t b);
+
+/// Erdos-Renyi G(n, p) with a seeded RNG.
+[[nodiscard]] Graph erdos_renyi(std::size_t n, double p, util::Rng& rng);
+
+/// Hexagonal (honeycomb) lattice of rows x cols "brick wall" cells: the
+/// 3-regular nearest-neighbor topology of the hexagonal ROIM fabric [7]
+/// cited in Sec. 2.3. Interior nodes have degree 3.
+[[nodiscard]] Graph hex_lattice(std::size_t rows, std::size_t cols);
+
+/// Random maximal-planar-style triangulated grid: a rows x cols grid where
+/// every unit square gets one randomly-oriented diagonal. Planar, and
+/// 4-colorable by the four-color theorem; used for the "planar 4-coloring"
+/// framing of the paper and the map_coloring example.
+[[nodiscard]] Graph triangulated_grid(std::size_t rows, std::size_t cols,
+                                      util::Rng& rng);
+
+/// Star graph: node 0 joined to nodes 1..n-1.
+[[nodiscard]] Graph star_graph(std::size_t n);
+
+/// Wheel graph: cycle of n-1 outer nodes (>=3) plus a hub (node 0) joined to
+/// all of them. Chromatic number is 4 when the cycle is odd.
+[[nodiscard]] Graph wheel_graph(std::size_t n);
+
+}  // namespace msropm::graph

@@ -1,0 +1,31 @@
+#pragma once
+// DIMACS graph-coloring format ("p edge N M" / "e u v", 1-based) I/O so that
+// instances can be exchanged with standard coloring tools, plus an edge-list
+// text format for quick inspection.
+
+#include <iosfwd>
+#include <string>
+
+#include "msropm/graph/graph.hpp"
+
+namespace msropm::graph {
+
+/// Parse DIMACS .col content from a stream. Throws std::runtime_error with a
+/// line number on malformed input. Duplicate edges are tolerated (collapsed).
+[[nodiscard]] Graph read_dimacs(std::istream& in);
+
+/// Parse DIMACS .col from a string (convenience for tests).
+[[nodiscard]] Graph read_dimacs_string(const std::string& content);
+
+/// Load from a file path.
+[[nodiscard]] Graph read_dimacs_file(const std::string& path);
+
+/// Serialize in DIMACS .col format (1-based node ids).
+void write_dimacs(std::ostream& out, const Graph& g,
+                  const std::string& comment = "");
+[[nodiscard]] std::string write_dimacs_string(const Graph& g,
+                                              const std::string& comment = "");
+void write_dimacs_file(const std::string& path, const Graph& g,
+                       const std::string& comment = "");
+
+}  // namespace msropm::graph

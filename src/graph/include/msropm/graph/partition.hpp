@@ -1,0 +1,44 @@
+#pragma once
+// Graph partitioning support for the divide-and-color flow.
+//
+// After the stage-1 max-cut readout, the MSROPM disables couplings whose
+// endpoints locked to different phases (the P_EN mechanism, paper Sec. 3.3).
+// Architecturally the fabric then behaves as the disjoint union of the
+// induced subgraphs. These helpers express that partition both ways:
+//  - as a coupling mask over the original edge set (what the hardware does),
+//  - as explicit induced subgraphs with id maps (what the analysis needs).
+
+#include <cstdint>
+#include <vector>
+
+#include "msropm/graph/graph.hpp"
+
+namespace msropm::graph {
+
+/// An induced subgraph plus the mapping back to original node ids.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> to_original;  // local id -> original id
+};
+
+/// Per-edge mask: mask[e] is true when edge e's endpoints share a label
+/// (coupling stays ON inside a partition, is cut across partitions).
+[[nodiscard]] std::vector<std::uint8_t> intra_partition_edge_mask(
+    const Graph& g, const std::vector<std::uint8_t>& labels);
+
+/// Number of edges whose endpoints have different labels (the cut size).
+[[nodiscard]] std::size_t cut_size(const Graph& g,
+                                   const std::vector<std::uint8_t>& labels);
+
+/// Induced subgraphs, one per distinct label value 0..max_label.
+[[nodiscard]] std::vector<InducedSubgraph> split_by_labels(
+    const Graph& g, const std::vector<std::uint8_t>& labels,
+    std::size_t num_labels);
+
+/// Lift a per-subgraph assignment back to original node ids.
+/// `local_values[p][i]` is the value of subgraph p's local node i.
+[[nodiscard]] std::vector<std::uint8_t> merge_labels(
+    std::size_t num_nodes, const std::vector<InducedSubgraph>& parts,
+    const std::vector<std::vector<std::uint8_t>>& local_values);
+
+}  // namespace msropm::graph

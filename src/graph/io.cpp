@@ -1,0 +1,96 @@
+#include "msropm/graph/io.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "msropm/util/strings.hpp"
+
+namespace msropm::graph {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("DIMACS parse error at line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+Graph read_dimacs(std::istream& in) {
+  std::optional<GraphBuilder> builder;
+  std::size_t declared_edges = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed[0] == 'c') continue;
+    const auto tokens = util::split_ws(trimmed);
+    if (tokens[0] == "p") {
+      if (builder) fail(line_no, "duplicate problem line");
+      if (tokens.size() != 4 || (tokens[1] != "edge" && tokens[1] != "col")) {
+        fail(line_no, "expected 'p edge <n> <m>'");
+      }
+      const auto n = util::parse_int(tokens[2]);
+      const auto m = util::parse_int(tokens[3]);
+      if (!n || !m || *n < 0 || *m < 0) fail(line_no, "bad node/edge counts");
+      builder.emplace(static_cast<std::size_t>(*n));
+      declared_edges = static_cast<std::size_t>(*m);
+    } else if (tokens[0] == "e") {
+      if (!builder) fail(line_no, "edge before problem line");
+      if (tokens.size() != 3) fail(line_no, "expected 'e <u> <v>'");
+      const auto u = util::parse_int(tokens[1]);
+      const auto v = util::parse_int(tokens[2]);
+      if (!u || !v) fail(line_no, "bad edge endpoints");
+      const auto n = static_cast<long long>(builder->num_nodes());
+      if (*u < 1 || *u > n || *v < 1 || *v > n) fail(line_no, "endpoint out of range");
+      if (*u == *v) fail(line_no, "self-loop");
+      builder->add_edge(static_cast<NodeId>(*u - 1), static_cast<NodeId>(*v - 1));
+    } else {
+      fail(line_no, "unknown record '" + tokens[0] + "'");
+    }
+  }
+  if (!builder) throw std::runtime_error("DIMACS parse error: no problem line");
+  // Some published instances list each edge twice; accept any count that
+  // collapses to at most the declaration.
+  if (builder->num_edges() > declared_edges && declared_edges != 0) {
+    throw std::runtime_error("DIMACS parse error: more distinct edges than declared");
+  }
+  return builder->build();
+}
+
+Graph read_dimacs_string(const std::string& content) {
+  std::istringstream in(content);
+  return read_dimacs(in);
+}
+
+Graph read_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const Graph& g, const std::string& comment) {
+  if (!comment.empty()) out << "c " << comment << "\n";
+  out << "p edge " << g.num_nodes() << " " << g.num_edges() << "\n";
+  for (const Edge& e : g.edges()) {
+    out << "e " << (e.u + 1) << " " << (e.v + 1) << "\n";
+  }
+}
+
+std::string write_dimacs_string(const Graph& g, const std::string& comment) {
+  std::ostringstream out;
+  write_dimacs(out, g, comment);
+  return out.str();
+}
+
+void write_dimacs_file(const std::string& path, const Graph& g,
+                       const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_dimacs(out, g, comment);
+}
+
+}  // namespace msropm::graph

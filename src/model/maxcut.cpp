@@ -1,0 +1,133 @@
+#include "msropm/model/maxcut.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace msropm::model {
+
+std::size_t cut_value(const graph::Graph& g, const CutAssignment& sides) {
+  if (sides.size() != g.num_nodes()) {
+    throw std::invalid_argument("cut_value: assignment size mismatch");
+  }
+  std::size_t cut = 0;
+  for (const graph::Edge& e : g.edges()) {
+    cut += (sides[e.u] != sides[e.v]) ? 1 : 0;
+  }
+  return cut;
+}
+
+std::size_t cut_value_masked(const graph::Graph& g, const CutAssignment& sides,
+                             const std::vector<std::uint8_t>& edge_mask) {
+  if (sides.size() != g.num_nodes()) {
+    throw std::invalid_argument("cut_value_masked: assignment size mismatch");
+  }
+  if (edge_mask.size() != g.num_edges()) {
+    throw std::invalid_argument("cut_value_masked: mask size mismatch");
+  }
+  std::size_t cut = 0;
+  const auto edges = g.edges();
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    if (edge_mask[k] && sides[edges[k].u] != sides[edges[k].v]) ++cut;
+  }
+  return cut;
+}
+
+std::pair<std::size_t, CutAssignment> max_cut_bruteforce(const graph::Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n > 26) throw std::invalid_argument("max_cut_bruteforce: graph too large");
+  if (n == 0) return {0, {}};
+  std::size_t best_cut = 0;
+  std::uint64_t best_bits = 0;
+  // Node 0 fixed to side 0: halves the search space (cut is symmetric).
+  const std::uint64_t limit = std::uint64_t{1} << (n - 1);
+  const auto edges = g.edges();
+  for (std::uint64_t bits = 0; bits < limit; ++bits) {
+    const std::uint64_t assignment = bits << 1;  // node 0 = side 0
+    std::size_t cut = 0;
+    for (const graph::Edge& e : edges) {
+      const auto su = (assignment >> e.u) & 1u;
+      const auto sv = (assignment >> e.v) & 1u;
+      cut += (su != sv) ? 1 : 0;
+    }
+    if (cut > best_cut) {
+      best_cut = cut;
+      best_bits = assignment;
+    }
+  }
+  CutAssignment sides(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sides[i] = static_cast<std::uint8_t>((best_bits >> i) & 1u);
+  }
+  return {best_cut, sides};
+}
+
+CutAssignment cut_from_spins(const std::vector<Spin>& spins) {
+  CutAssignment sides(spins.size());
+  for (std::size_t i = 0; i < spins.size(); ++i) {
+    sides[i] = spins[i] > 0 ? 0 : 1;
+  }
+  return sides;
+}
+
+std::vector<Spin> spins_from_cut(const CutAssignment& sides) {
+  std::vector<Spin> spins(sides.size());
+  for (std::size_t i = 0; i < sides.size(); ++i) {
+    spins[i] = sides[i] == 0 ? Spin{1} : Spin{-1};
+  }
+  return spins;
+}
+
+std::size_t kcut_value(const graph::Graph& g, const KCutAssignment& parts) {
+  if (parts.size() != g.num_nodes()) {
+    throw std::invalid_argument("kcut_value: size mismatch");
+  }
+  std::size_t cut = 0;
+  for (const auto& e : g.edges()) {
+    if (parts[e.u] != parts[e.v]) ++cut;
+  }
+  return cut;
+}
+
+std::pair<std::size_t, KCutAssignment> max_kcut_bruteforce(
+    const graph::Graph& g, unsigned k) {
+  const std::size_t n = g.num_nodes();
+  if (n > 16 || k == 0 || k > 8) {
+    throw std::invalid_argument("max_kcut_bruteforce: instance too large");
+  }
+  std::uint64_t states = 1;
+  for (std::size_t i = 0; i < n; ++i) states *= k;
+  std::size_t best = 0;
+  KCutAssignment best_parts(n, 0);
+  KCutAssignment parts(n, 0);
+  for (std::uint64_t s = 0; s < states; ++s) {
+    std::uint64_t x = s;
+    for (std::size_t i = 0; i < n; ++i) {
+      parts[i] = static_cast<std::uint8_t>(x % k);
+      x /= k;
+    }
+    const std::size_t cut = kcut_value(g, parts);
+    if (cut > best) {
+      best = cut;
+      best_parts = parts;
+    }
+  }
+  return {best, best_parts};
+}
+
+double kcut_random_expectation(const graph::Graph& g, unsigned k) {
+  if (k == 0) throw std::invalid_argument("kcut_random_expectation: k > 0");
+  return static_cast<double>(g.num_edges()) *
+         (1.0 - 1.0 / static_cast<double>(k));
+}
+
+double ising_energy_of_cut(const graph::Graph& g, std::size_t cut) {
+  // Uniform J = -1: uncut edge contributes -J*(+1) = +1; cut edge -J*(-1) = -1.
+  return static_cast<double>(g.num_edges()) - 2.0 * static_cast<double>(cut);
+}
+
+std::size_t cut_from_ising_energy(const graph::Graph& g, double energy) {
+  const double cut = (static_cast<double>(g.num_edges()) - energy) / 2.0;
+  return static_cast<std::size_t>(std::llround(cut));
+}
+
+}  // namespace msropm::model

@@ -1,0 +1,82 @@
+#include "msropm/model/onehot.hpp"
+
+#include <stdexcept>
+
+namespace msropm::model {
+
+OneHotColoringModel::OneHotColoringModel(const graph::Graph& g,
+                                         unsigned num_colors, double penalty_j)
+    : graph_(&g), k_(num_colors), j_(penalty_j) {
+  if (num_colors < 2) throw std::invalid_argument("OneHotColoringModel: K >= 2");
+}
+
+std::size_t OneHotColoringModel::num_binary_spins() const noexcept {
+  return graph_->num_nodes() * k_;
+}
+
+double OneHotColoringModel::energy(const std::vector<std::uint8_t>& s) const {
+  if (s.size() != num_binary_spins()) {
+    throw std::invalid_argument("OneHotColoringModel::energy: size mismatch");
+  }
+  double e = 0.0;
+  // Constraint term: (1 - sum_k s_ik)^2 per node.
+  for (std::size_t i = 0; i < graph_->num_nodes(); ++i) {
+    int row_sum = 0;
+    for (unsigned k = 0; k < k_; ++k) row_sum += s[i * k_ + k];
+    const double d = 1.0 - static_cast<double>(row_sum);
+    e += j_ * d * d;
+  }
+  // Conflict term: s_ik * s_jk per edge per color.
+  for (const graph::Edge& edge : graph_->edges()) {
+    for (unsigned k = 0; k < k_; ++k) {
+      e += j_ * static_cast<double>(s[edge.u * k_ + k]) *
+           static_cast<double>(s[edge.v * k_ + k]);
+    }
+  }
+  return e;
+}
+
+std::vector<std::uint8_t> OneHotColoringModel::encode(
+    const graph::Coloring& colors) const {
+  if (colors.size() != graph_->num_nodes()) {
+    throw std::invalid_argument("OneHotColoringModel::encode: size mismatch");
+  }
+  std::vector<std::uint8_t> s(num_binary_spins(), 0);
+  for (std::size_t i = 0; i < colors.size(); ++i) {
+    if (colors[i] >= k_) {
+      throw std::invalid_argument("OneHotColoringModel::encode: color out of range");
+    }
+    s[i * k_ + colors[i]] = 1;
+  }
+  return s;
+}
+
+OneHotColoringModel::Decoded OneHotColoringModel::decode(
+    const std::vector<std::uint8_t>& s) const {
+  if (s.size() != num_binary_spins()) {
+    throw std::invalid_argument("OneHotColoringModel::decode: size mismatch");
+  }
+  Decoded out;
+  out.colors.assign(graph_->num_nodes(), 0);
+  out.valid_one_hot = true;
+  for (std::size_t i = 0; i < graph_->num_nodes(); ++i) {
+    int count = 0;
+    graph::Color first = 0;
+    for (unsigned k = 0; k < k_; ++k) {
+      if (s[i * k_ + k]) {
+        if (count == 0) first = static_cast<graph::Color>(k);
+        ++count;
+      }
+    }
+    out.colors[i] = first;
+    if (count != 1) out.valid_one_hot = false;
+  }
+  return out;
+}
+
+std::size_t OneHotColoringModel::num_quadratic_terms() const noexcept {
+  const std::size_t per_node = static_cast<std::size_t>(k_) * (k_ - 1) / 2;
+  return graph_->num_nodes() * per_node + graph_->num_edges() * k_;
+}
+
+}  // namespace msropm::model

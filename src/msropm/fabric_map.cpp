@@ -1,0 +1,241 @@
+#include "msropm/core/fabric_map.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "msropm/graph/builders.hpp"
+
+namespace msropm::core {
+
+PhysicalFabric::PhysicalFabric(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), topo_(graph::kings_graph(rows, cols)) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("PhysicalFabric: empty array");
+  }
+}
+
+graph::NodeId PhysicalFabric::cell(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("PhysicalFabric::cell");
+  return static_cast<graph::NodeId>(r * cols_ + c);
+}
+
+std::pair<std::size_t, std::size_t> PhysicalFabric::position(
+    graph::NodeId id) const {
+  if (id >= num_cells()) throw std::out_of_range("PhysicalFabric::position");
+  return {id / cols_, id % cols_};
+}
+
+FabricMapping::FabricMapping(const PhysicalFabric& fabric,
+                             std::vector<graph::NodeId> guest_to_cell,
+                             std::vector<std::uint8_t> edge_enable)
+    : fabric_(&fabric),
+      guest_to_cell_(std::move(guest_to_cell)),
+      cell_enable_(fabric.num_cells(), 0),
+      edge_enable_(std::move(edge_enable)) {
+  if (edge_enable_.size() != fabric.topology().num_edges()) {
+    throw std::invalid_argument("FabricMapping: edge_enable size mismatch");
+  }
+  // Inverse map and L_EN image.
+  std::vector<std::uint32_t> cell_to_guest(fabric.num_cells(), UINT32_MAX);
+  for (std::size_t i = 0; i < guest_to_cell_.size(); ++i) {
+    const auto cell = guest_to_cell_[i];
+    if (cell >= fabric.num_cells()) {
+      throw std::invalid_argument("FabricMapping: cell out of range");
+    }
+    if (cell_to_guest[cell] != UINT32_MAX) {
+      throw std::invalid_argument("FabricMapping: duplicate cell");
+    }
+    cell_to_guest[cell] = static_cast<std::uint32_t>(i);
+    cell_enable_[cell] = 1;
+  }
+  // The active graph: enabled couplings between mapped cells, in guest ids.
+  graph::GraphBuilder builder(guest_to_cell_.size());
+  const auto edges = fabric.topology().edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (!edge_enable_[e]) continue;
+    const auto gu = cell_to_guest[edges[e].u];
+    const auto gv = cell_to_guest[edges[e].v];
+    if (gu == UINT32_MAX || gv == UINT32_MAX) {
+      throw std::invalid_argument(
+          "FabricMapping: enabled coupling touches a disabled cell");
+    }
+    builder.add_edge(gu, gv);
+  }
+  active_ = builder.build();
+}
+
+double FabricMapping::utilization() const noexcept {
+  return static_cast<double>(guest_to_cell_.size()) /
+         static_cast<double>(fabric_->num_cells());
+}
+
+std::vector<graph::Color> FabricMapping::lift(
+    const graph::Coloring& guest_colors, graph::Color unused) const {
+  if (guest_colors.size() != guest_to_cell_.size()) {
+    throw std::invalid_argument("FabricMapping::lift: size mismatch");
+  }
+  std::vector<graph::Color> out(fabric_->num_cells(), unused);
+  for (std::size_t i = 0; i < guest_colors.size(); ++i) {
+    out[guest_to_cell_[i]] = guest_colors[i];
+  }
+  return out;
+}
+
+FabricMapping map_window(const PhysicalFabric& fabric, std::size_t rows,
+                         std::size_t cols) {
+  if (rows > fabric.rows() || cols > fabric.cols()) {
+    throw std::invalid_argument("map_window: window exceeds fabric");
+  }
+  std::vector<graph::NodeId> cells;
+  cells.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) cells.push_back(fabric.cell(r, c));
+  }
+  return map_cells(fabric, cells);
+}
+
+FabricMapping map_cells(const PhysicalFabric& fabric,
+                        const std::vector<graph::NodeId>& cells) {
+  std::vector<std::uint8_t> in_set(fabric.num_cells(), 0);
+  for (const auto cell : cells) {
+    if (cell >= fabric.num_cells()) {
+      throw std::invalid_argument("map_cells: cell out of range");
+    }
+    in_set[cell] = 1;
+  }
+  const auto edges = fabric.topology().edges();
+  std::vector<std::uint8_t> edge_enable(edges.size(), 0);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    edge_enable[e] = in_set[edges[e].u] && in_set[edges[e].v];
+  }
+  return FabricMapping(fabric, cells, std::move(edge_enable));
+}
+
+namespace {
+
+/// Backtracking subgraph embedder: place guest nodes (highest degree first)
+/// onto fabric cells so that every guest edge to an already-placed neighbor
+/// is a physical coupling. Bounded by a placement-attempt budget.
+class Embedder {
+ public:
+  Embedder(const PhysicalFabric& fabric, const graph::Graph& guest,
+           std::size_t budget)
+      : fabric_(fabric), guest_(guest), budget_(budget) {
+    order_.resize(guest.num_nodes());
+    std::iota(order_.begin(), order_.end(), graph::NodeId{0});
+    // High-degree guests first: fail fast on the constrained nodes.
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&guest](graph::NodeId a, graph::NodeId b) {
+                       return guest.degree(a) > guest.degree(b);
+                     });
+    placement_.assign(guest.num_nodes(), UINT32_MAX);
+    cell_used_.assign(fabric.num_cells(), 0);
+  }
+
+  [[nodiscard]] bool run() { return place(0); }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& placement() const noexcept {
+    return placement_;
+  }
+
+ private:
+  [[nodiscard]] bool consistent(graph::NodeId guest_node,
+                                graph::NodeId cell) const {
+    for (const auto nb : guest_.neighbors(guest_node)) {
+      const auto placed = placement_[nb];
+      if (placed == UINT32_MAX) continue;
+      if (!fabric_.topology().has_edge(cell, static_cast<graph::NodeId>(placed))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Candidate cells for the next node: all cells for the first node would
+  /// be wasteful on a large fabric; anchor the first node near the origin
+  /// (translation symmetry of the array) and try neighbors-of-placed first.
+  [[nodiscard]] std::vector<graph::NodeId> candidates(std::size_t idx) const {
+    const auto guest_node = order_[idx];
+    std::vector<graph::NodeId> cand;
+    bool anchored = false;
+    for (const auto nb : guest_.neighbors(guest_node)) {
+      const auto placed = placement_[nb];
+      if (placed == UINT32_MAX) continue;
+      anchored = true;
+      for (const auto cell :
+           fabric_.topology().neighbors(static_cast<graph::NodeId>(placed))) {
+        if (!cell_used_[cell]) cand.push_back(cell);
+      }
+    }
+    if (!anchored) {
+      // Unanchored component: any unused cell (first node: symmetry-reduce
+      // to one quadrant corner region for speed).
+      const std::size_t rmax = idx == 0 ? (fabric_.rows() + 1) / 2 : fabric_.rows();
+      const std::size_t cmax = idx == 0 ? (fabric_.cols() + 1) / 2 : fabric_.cols();
+      for (std::size_t r = 0; r < rmax; ++r) {
+        for (std::size_t c = 0; c < cmax; ++c) {
+          const auto cell = fabric_.cell(r, c);
+          if (!cell_used_[cell]) cand.push_back(cell);
+        }
+      }
+    }
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+    return cand;
+  }
+
+  [[nodiscard]] bool place(std::size_t idx) {
+    if (idx == order_.size()) return true;
+    const auto guest_node = order_[idx];
+    for (const auto cell : candidates(idx)) {
+      if (budget_ == 0) return false;
+      --budget_;
+      if (!consistent(guest_node, cell)) continue;
+      placement_[guest_node] = cell;
+      cell_used_[cell] = 1;
+      if (place(idx + 1)) return true;
+      placement_[guest_node] = UINT32_MAX;
+      cell_used_[cell] = 0;
+    }
+    return false;
+  }
+
+  const PhysicalFabric& fabric_;
+  const graph::Graph& guest_;
+  std::size_t budget_;
+  std::vector<graph::NodeId> order_;
+  std::vector<std::uint32_t> placement_;
+  std::vector<std::uint8_t> cell_used_;
+};
+
+}  // namespace
+
+std::optional<FabricMapping> embed_guest(const PhysicalFabric& fabric,
+                                         const graph::Graph& guest,
+                                         std::size_t backtrack_budget) {
+  if (guest.num_nodes() > fabric.num_cells()) return std::nullopt;
+  Embedder embedder(fabric, guest, backtrack_budget);
+  if (!embedder.run()) return std::nullopt;
+
+  std::vector<graph::NodeId> guest_to_cell(guest.num_nodes());
+  std::vector<std::uint32_t> cell_to_guest(fabric.num_cells(), UINT32_MAX);
+  for (std::size_t i = 0; i < guest.num_nodes(); ++i) {
+    guest_to_cell[i] = static_cast<graph::NodeId>(embedder.placement()[i]);
+    cell_to_guest[guest_to_cell[i]] = static_cast<std::uint32_t>(i);
+  }
+  // Enable exactly the couplings corresponding to guest edges; physical
+  // couplings between mapped cells that are not guest edges stay gated.
+  const auto edges = fabric.topology().edges();
+  std::vector<std::uint8_t> edge_enable(edges.size(), 0);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto gu = cell_to_guest[edges[e].u];
+    const auto gv = cell_to_guest[edges[e].v];
+    if (gu == UINT32_MAX || gv == UINT32_MAX) continue;
+    edge_enable[e] = guest.has_edge(static_cast<graph::NodeId>(gu),
+                                    static_cast<graph::NodeId>(gv));
+  }
+  return FabricMapping(fabric, std::move(guest_to_cell), std::move(edge_enable));
+}
+
+}  // namespace msropm::core

@@ -1,0 +1,119 @@
+#pragma once
+// Problem-to-fabric mapping (paper Sec. 3.3).
+//
+// A fabricated MSROPM is a fixed rows x cols array of ROSCs wired in the
+// King's-graph topology. Problems are mapped onto it with the *local* enable
+// signals: "Local signals toggle ROSCs and B2Bs individually and are used to
+// map problems to the circuit." An oscillator outside the mapped problem is
+// held off (L_EN = 0) and every coupling not present in the guest problem is
+// gated off.
+//
+// This module models that flow at the architectural level:
+//
+//   PhysicalFabric fabric(46, 46);                  // the taped-out array
+//   auto m = map_window(fabric, 7, 7);              // a 49-node instance
+//   auto m2 = embed_guest(fabric, guest_graph);     // general small guests
+//   MultiStagePottsMachine machine(m.active_graph(), config);
+//   auto lifted = m.lift(result.colors);            // colors per fabric cell
+//
+// embed_guest() places an arbitrary guest graph onto fabric cells such that
+// every guest edge lands on a physical B2B coupling (subgraph embedding by
+// backtracking; exponential worst case, intended for guests of up to a few
+// hundred nodes with King's-graph-compatible structure). Guests that need a
+// coupling the fabric does not have (e.g. a K5 clique -- the King's graph's
+// max clique is 4) are rejected with std::nullopt.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "msropm/graph/coloring.hpp"
+#include "msropm/graph/graph.hpp"
+
+namespace msropm::core {
+
+/// The fixed physical oscillator array: rows x cols cells, King's wiring.
+class PhysicalFabric {
+ public:
+  PhysicalFabric(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t num_cells() const noexcept { return rows_ * cols_; }
+  /// Full physical coupling network (every B2B present in the array).
+  [[nodiscard]] const graph::Graph& topology() const noexcept { return topo_; }
+
+  [[nodiscard]] graph::NodeId cell(std::size_t r, std::size_t c) const;
+  [[nodiscard]] std::pair<std::size_t, std::size_t> position(graph::NodeId id) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  graph::Graph topo_;
+};
+
+/// A problem mapped onto the fabric: which cells and couplings are enabled
+/// (the L_EN register images) and how guest node ids relate to cells.
+class FabricMapping {
+ public:
+  FabricMapping(const PhysicalFabric& fabric,
+                std::vector<graph::NodeId> guest_to_cell,
+                std::vector<std::uint8_t> edge_enable);
+
+  /// L_EN per physical cell (1 = oscillator participates).
+  [[nodiscard]] const std::vector<std::uint8_t>& cell_enable() const noexcept {
+    return cell_enable_;
+  }
+  /// L_EN per physical coupling, aligned with topology().edges().
+  [[nodiscard]] const std::vector<std::uint8_t>& edge_enable() const noexcept {
+    return edge_enable_;
+  }
+  /// Physical cell hosting guest node i.
+  [[nodiscard]] const std::vector<graph::NodeId>& guest_to_cell() const noexcept {
+    return guest_to_cell_;
+  }
+  /// The graph the enabled sub-fabric realizes, in guest node ids. The
+  /// machine runs on exactly this graph.
+  [[nodiscard]] const graph::Graph& active_graph() const noexcept {
+    return active_;
+  }
+  [[nodiscard]] std::size_t num_guest_nodes() const noexcept {
+    return guest_to_cell_.size();
+  }
+  /// Fraction of physical cells used (utilization reporting).
+  [[nodiscard]] double utilization() const noexcept;
+
+  /// Lift a guest-indexed coloring to fabric cells; unused cells get
+  /// `unused` (defaults to 0xFF).
+  [[nodiscard]] std::vector<graph::Color> lift(
+      const graph::Coloring& guest_colors,
+      graph::Color unused = 0xFF) const;
+
+ private:
+  const PhysicalFabric* fabric_;
+  std::vector<graph::NodeId> guest_to_cell_;
+  std::vector<std::uint8_t> cell_enable_;
+  std::vector<std::uint8_t> edge_enable_;
+  graph::Graph active_;
+};
+
+/// Map a rows x cols King's-graph instance onto the top-left window of the
+/// fabric (the paper's own benchmark mapping). Throws if it does not fit.
+[[nodiscard]] FabricMapping map_window(const PhysicalFabric& fabric,
+                                       std::size_t rows, std::size_t cols);
+
+/// Map the induced sub-fabric of an arbitrary cell subset: guest node i is
+/// the i-th enabled cell; every physical coupling between enabled cells is
+/// kept. Throws on out-of-range or duplicate cells.
+[[nodiscard]] FabricMapping map_cells(const PhysicalFabric& fabric,
+                                      const std::vector<graph::NodeId>& cells);
+
+/// Embed an arbitrary guest graph: find cells such that every guest edge is
+/// a physical coupling (couplings between mapped cells that are NOT guest
+/// edges are gated off -- that is what per-coupling L_EN is for). Returns
+/// std::nullopt when no embedding exists within the node-placement budget.
+[[nodiscard]] std::optional<FabricMapping> embed_guest(
+    const PhysicalFabric& fabric, const graph::Graph& guest,
+    std::size_t backtrack_budget = 200000);
+
+}  // namespace msropm::core

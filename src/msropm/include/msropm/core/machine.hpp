@@ -1,0 +1,95 @@
+#pragma once
+// The Multi-Stage ROSC Potts Machine (MSROPM) -- the paper's contribution --
+// running on the phase-domain engine.
+//
+// One solve() executes the full divide-and-color flow of Sec. 3.2/Fig. 3:
+//
+//   init       : random oscillator phases (random startup instants + jitter)
+//   stage k:
+//     anneal   : couplings on within each current group (P_EN masks edges
+//                across groups), SHIL off -> the fabric self-anneals toward
+//                the max-cut ground state of every group in parallel
+//     lock     : per-group phase-shifted order-2 SHIL ramps in and binarizes
+//                each group's phases at {psi_g, psi_g + pi}
+//     readout  : the lock lobe of each oscillator is latched as bit b_k
+//                (hardware: DFF bank; here: nearest_lock_index). P_EN and
+//                SHIL_SEL registers are updated from the readout
+//     reinit   : SHIL and couplings released; phases re-randomize (5 ns of
+//                free running; group memory lives in the digital registers,
+//                NOT in the phases -- the compute-in-memory property)
+//   final      : after m = log2(K) stages the accumulated bits identify one
+//                of K equally spaced phases = the Potts spin / color
+//
+// Stage-1 with all couplings active is exactly a max-cut solve of the whole
+// graph; its cut is reported for the Fig. 5(b) correlation study.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "msropm/core/schedule.hpp"
+#include "msropm/core/shil_plan.hpp"
+#include "msropm/graph/coloring.hpp"
+#include "msropm/graph/graph.hpp"
+#include "msropm/model/maxcut.hpp"
+#include "msropm/phase/network.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace msropm::core {
+
+struct MsropmConfig {
+  unsigned num_colors = 4;                  ///< power of two in [2, 128]
+  phase::NetworkParams network{};           ///< oscillator/coupling physics
+  StageSchedule schedule{};                 ///< paper 60 ns timing
+  phase::GainRamp shil_ramp{0.0, 0.4};      ///< SHIL ramp within lock window
+  /// Short SHIL-assisted settling also anneals couplings; keep couplings on
+  /// during the lock window (matches Fig. 3 where couplings stay on).
+  bool couplings_during_lock = true;
+
+  [[nodiscard]] unsigned num_stages() const { return stages_for_colors(num_colors); }
+  [[nodiscard]] double total_time_s() const {
+    return schedule.total_time_s(num_stages());
+  }
+};
+
+/// Per-stage observable outcome.
+struct StageOutcome {
+  std::vector<std::uint8_t> bits;   ///< readout bit per oscillator
+  std::size_t active_edges = 0;     ///< couplings enabled during the anneal
+  std::size_t cut_edges = 0;        ///< of those, cut by this stage's readout
+  double max_lock_residual = 0.0;   ///< worst distance to a lock point [rad]
+};
+
+/// Result of one complete MSROPM run.
+struct MsropmResult {
+  graph::Coloring colors;               ///< final color per node
+  std::vector<StageOutcome> stages;     ///< one per stage
+  double total_time_s = 0.0;            ///< schedule time (fixed, 60 ns for K=4)
+
+  /// Stage-1 bipartition (the max-cut solution of the full graph).
+  [[nodiscard]] model::CutAssignment stage1_cut() const;
+};
+
+/// Called at stage boundaries (for tracing/visualization):
+/// (stage index starting at 1, phase label, network state).
+using StageObserver =
+    std::function<void(unsigned, const char*, const phase::PhaseNetwork&)>;
+
+class MultiStagePottsMachine {
+ public:
+  MultiStagePottsMachine(const graph::Graph& g, MsropmConfig config);
+
+  [[nodiscard]] const MsropmConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+
+  /// One full multi-stage run with the given RNG (initial phases + jitter).
+  [[nodiscard]] MsropmResult solve(util::Rng& rng,
+                                   const StageObserver& observer = {}) const;
+
+ private:
+  const graph::Graph* graph_;
+  MsropmConfig config_;
+};
+
+}  // namespace msropm::core

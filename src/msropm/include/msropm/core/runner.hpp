@@ -1,0 +1,52 @@
+#pragma once
+// Best-of-N iteration harness (paper Sec. 4: "an Ising/Potts solver is
+// typically run multiple times, with the best solution among the iterations
+// being selected as the final solution"; all experiments use 40 iterations).
+//
+// Iterations are embarrassingly parallel: each gets an independent RNG
+// stream derived from the base seed and runs on a worker thread. Determinism
+// holds for a fixed (seed, iteration) pair regardless of thread count.
+
+#include <cstddef>
+#include <vector>
+
+#include "msropm/core/machine.hpp"
+#include "msropm/graph/coloring.hpp"
+#include "msropm/graph/graph.hpp"
+
+namespace msropm::core {
+
+struct IterationOutcome {
+  MsropmResult result;
+  double coloring_accuracy = 0.0;  ///< satisfied edges / total edges
+  std::size_t stage1_cut = 0;      ///< stage-1 max-cut value
+};
+
+struct RunSummary {
+  std::vector<IterationOutcome> iterations;
+  std::size_t best_index = 0;
+  double best_accuracy = 0.0;
+  double mean_accuracy = 0.0;
+  double worst_accuracy = 0.0;
+  std::size_t exact_solutions = 0;  ///< iterations with accuracy == 1.0
+
+  [[nodiscard]] const graph::Coloring& best_coloring() const {
+    return iterations.at(best_index).result.colors;
+  }
+  /// Accuracy series in iteration order (Fig. 5a traces).
+  [[nodiscard]] std::vector<double> accuracy_series() const;
+  /// Stage-1 cut series in iteration order (Fig. 5b traces).
+  [[nodiscard]] std::vector<double> stage1_cut_series() const;
+};
+
+struct RunnerOptions {
+  std::size_t iterations = 40;    ///< the paper's iteration count
+  std::uint64_t seed = 1;
+  std::size_t num_threads = 0;    ///< 0 = hardware concurrency
+};
+
+/// Run the machine `options.iterations` times and summarize.
+[[nodiscard]] RunSummary run_iterations(const MultiStagePottsMachine& machine,
+                                        const RunnerOptions& options);
+
+}  // namespace msropm::core

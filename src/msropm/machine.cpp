@@ -1,0 +1,121 @@
+#include "msropm/core/machine.hpp"
+
+#include <stdexcept>
+
+#include "msropm/phase/lock.hpp"
+
+namespace msropm::core {
+
+model::CutAssignment MsropmResult::stage1_cut() const {
+  if (stages.empty()) return {};
+  return {stages.front().bits.begin(), stages.front().bits.end()};
+}
+
+MultiStagePottsMachine::MultiStagePottsMachine(const graph::Graph& g,
+                                               MsropmConfig config)
+    : graph_(&g), config_(config) {
+  if (!valid_color_count(config_.num_colors)) {
+    throw std::invalid_argument("MultiStagePottsMachine: colors must be 2^m");
+  }
+  if (!config_.schedule.valid()) {
+    throw std::invalid_argument("MultiStagePottsMachine: invalid schedule");
+  }
+}
+
+MsropmResult MultiStagePottsMachine::solve(util::Rng& rng,
+                                           const StageObserver& observer) const {
+  const graph::Graph& g = *graph_;
+  const unsigned num_stages = config_.num_stages();
+  const std::size_t n = g.num_nodes();
+
+  phase::PhaseNetwork net(g, config_.network);
+  net.set_uniform_coupling(-1.0);  // B2B inverters: anti-ferromagnetic
+  net.set_couplings_active(false);
+  net.set_shil_active(false);
+  if (config_.network.frequency_mismatch_stddev_hz > 0.0) {
+    // Process variation: each ROSC free-runs slightly off nominal; the SHIL
+    // must overcome this residual detune to capture the oscillator.
+    std::vector<double> detune(n);
+    const double two_pi = 2.0 * 3.14159265358979323846;
+    for (double& d : detune) {
+      d = two_pi * config_.network.frequency_mismatch_stddev_hz * rng.normal();
+    }
+    net.set_detune(std::move(detune));
+  }
+
+  // --- init: random startup phases ------------------------------------
+  net.randomize_phases(rng);
+  net.run(config_.schedule.init_s, rng);
+  if (observer) observer(0, "init", net);
+
+  // Accumulated per-oscillator readout bits (the SHIL_SEL register file).
+  std::vector<StageBits> bits(n);
+  // P_EN register file: edge enabled while endpoints share every bit so far.
+  std::vector<std::uint8_t> edge_mask(g.num_edges(), 1);
+
+  MsropmResult result;
+  result.total_time_s = config_.total_time_s();
+
+  for (unsigned stage = 1; stage <= num_stages; ++stage) {
+    // SHIL phases for the current grouping.
+    std::vector<double> psi(n);
+    for (std::size_t i = 0; i < n; ++i) psi[i] = shil_phase_for_bits(bits[i]);
+    net.set_shil_phases(psi);
+
+    // --- anneal: couplings on within groups, SHIL off -------------------
+    net.set_edge_mask(edge_mask);
+    net.set_couplings_active(true);
+    net.set_shil_active(false);
+    net.run(config_.schedule.anneal_s, rng);
+    if (observer) observer(stage, "anneal", net);
+
+    // --- lock: ramped SHIL binarizes each group ----------------------
+    net.set_couplings_active(config_.couplings_during_lock);
+    net.set_shil_active(true);
+    net.set_shil_level(1.0);
+    net.run(config_.schedule.discretize_s, rng, &config_.shil_ramp);
+    if (observer) observer(stage, "lock", net);
+
+    // --- readout: latch the lock lobe as bit b_stage ----------------------
+    StageOutcome outcome;
+    outcome.bits.resize(n);
+    const auto& theta = net.phases();
+    for (std::size_t i = 0; i < n; ++i) {
+      outcome.bits[i] = static_cast<std::uint8_t>(
+          phase::nearest_lock_index(theta[i], psi[i], 2));
+      bits[i].push_back(outcome.bits[i]);
+    }
+    outcome.max_lock_residual = phase::max_lock_residual(theta, psi, 2);
+
+    // Update P_EN: cut couplings whose endpoints read out different bits.
+    const auto edges = g.edges();
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (!edge_mask[e]) continue;
+      ++outcome.active_edges;
+      if (outcome.bits[edges[e].u] != outcome.bits[edges[e].v]) {
+        ++outcome.cut_edges;
+        edge_mask[e] = 0;
+      }
+    }
+    result.stages.push_back(std::move(outcome));
+
+    // --- reinit between stages -------------------------------------------
+    if (stage < num_stages) {
+      net.set_shil_active(false);
+      net.set_couplings_active(false);
+      // Free-running drift (jitter + mismatch) decorrelates the phases; the
+      // stage memory lives in the bits/edge_mask registers.
+      net.randomize_phases(rng);
+      net.run(config_.schedule.reinit_s, rng);
+      if (observer) observer(stage, "reinit", net);
+    }
+  }
+
+  result.colors.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.colors[i] = static_cast<graph::Color>(color_from_bits(bits[i]));
+  }
+  return result;
+}
+
+}  // namespace msropm::core

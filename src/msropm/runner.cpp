@@ -1,0 +1,78 @@
+#include "msropm/core/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace msropm::core {
+
+std::vector<double> RunSummary::accuracy_series() const {
+  std::vector<double> s;
+  s.reserve(iterations.size());
+  for (const auto& it : iterations) s.push_back(it.coloring_accuracy);
+  return s;
+}
+
+std::vector<double> RunSummary::stage1_cut_series() const {
+  std::vector<double> s;
+  s.reserve(iterations.size());
+  for (const auto& it : iterations) s.push_back(static_cast<double>(it.stage1_cut));
+  return s;
+}
+
+RunSummary run_iterations(const MultiStagePottsMachine& machine,
+                          const RunnerOptions& options) {
+  const std::size_t iters = options.iterations;
+  RunSummary summary;
+  summary.iterations.resize(iters);
+
+  std::size_t workers = options.num_threads != 0
+                            ? options.num_threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, std::max<std::size_t>(1, iters));
+
+  std::atomic<std::size_t> next{0};
+  auto work = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= iters) return;
+      // Independent, deterministic stream per iteration.
+      util::Rng rng(options.seed * 0x9e3779b97f4a7c15ull + i * 0xbf58476d1ce4e5b9ull + 1);
+      IterationOutcome out;
+      out.result = machine.solve(rng);
+      out.coloring_accuracy =
+          graph::coloring_accuracy(machine.graph(), out.result.colors);
+      out.stage1_cut =
+          out.result.stages.empty() ? 0 : out.result.stages.front().cut_edges;
+      summary.iterations[i] = std::move(out);
+    }
+  };
+
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (auto& t : pool) t.join();
+  }
+
+  summary.best_accuracy = 0.0;
+  summary.worst_accuracy = 1.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    const double acc = summary.iterations[i].coloring_accuracy;
+    total += acc;
+    if (acc > summary.best_accuracy) {
+      summary.best_accuracy = acc;
+      summary.best_index = i;
+    }
+    summary.worst_accuracy = std::min(summary.worst_accuracy, acc);
+    if (acc >= 1.0) ++summary.exact_solutions;
+  }
+  summary.mean_accuracy = iters ? total / static_cast<double>(iters) : 0.0;
+  if (iters == 0) summary.worst_accuracy = 0.0;
+  return summary;
+}
+
+}  // namespace msropm::core

@@ -1,0 +1,16 @@
+#include "msropm/core/schedule.hpp"
+
+namespace msropm::core {
+
+double StageSchedule::total_time_s(unsigned num_stages) const noexcept {
+  if (num_stages == 0) return 0.0;
+  return init_s +
+         static_cast<double>(num_stages) * (anneal_s + discretize_s) +
+         static_cast<double>(num_stages - 1) * reinit_s;
+}
+
+bool StageSchedule::valid() const noexcept {
+  return init_s > 0.0 && anneal_s > 0.0 && discretize_s > 0.0 && reinit_s > 0.0;
+}
+
+}  // namespace msropm::core

@@ -1,0 +1,164 @@
+#pragma once
+// Phase-domain model of the coupled-ROSC fabric.
+//
+// Each ring oscillator reduces (Adler / Kuramoto reduction, the standard
+// model of the OIM literature the paper builds on [6], [24]) to a single
+// phase theta_i in the frame rotating at the free-running frequency
+// f0 = 1.3 GHz:
+//
+//   dtheta_i/dt = d_i
+//                 - Kc * sum_j J_ij * m_ij * sin(theta_i - theta_j)
+//                 - Ks(t) * e_i * sin(order * (theta_i - psi_i))
+//                 + sigma * xi_i(t)
+//
+//   d_i    : frequency detune (0 for matched oscillators)
+//   J_ij   : per-edge coupling sign/weight; B2B inverters give J = -1
+//   m_ij   : P_EN edge mask (1 = coupling on)
+//   Kc     : coupling gain [rad/s]
+//   Ks(t)  : SHIL injection gain [rad/s], possibly ramped
+//   e_i    : per-oscillator SHIL enable (SHIL_EN & MUX)
+//   psi_i  : per-oscillator SHIL phase offset (SHIL_SEL); order-2 SHIL locks
+//            theta_i at {psi_i, psi_i + pi}
+//   order  : sub-harmonic order (2 for the MSROPM; the ICCAD'24 ROPM [14]
+//            uses order N directly)
+//   xi     : unit white noise modeling oscillator jitter
+//
+// This is gradient flow on
+//   E = - sum_ij J_ij m_ij cos(theta_i - theta_j)
+//       - (Ks/order) sum_i e_i cos(order (theta_i - psi_i))
+// scaled by Kc, so trajectories descend the (vector Potts) energy landscape.
+//
+// Integrators: Euler-Maruyama (stochastic, default) and RK4 (deterministic,
+// for convergence tests). The derivative uses per-node sincos precomputation
+// so a step costs O(n + m).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "msropm/graph/graph.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace msropm::phase {
+
+/// Static parameters of a phase-domain simulation.
+struct NetworkParams {
+  double natural_frequency_hz = 1.3e9;  ///< paper Sec. 3.3 (reporting only)
+  double coupling_gain = 8.0e8;         ///< Kc [rad/s]
+  double shil_gain = 1.2e9;             ///< Ks at full strength [rad/s]
+  unsigned shil_order = 2;              ///< 2 for MSROPM
+  double noise_stddev = 1.5e3;          ///< sigma [rad/sqrt(s)]
+  /// Process-variation model: per-oscillator free-running frequency offsets
+  /// are drawn i.i.d. normal with this stddev [Hz] at machine init (0 =
+  /// matched oscillators, the paper's nominal simulation).
+  double frequency_mismatch_stddev_hz = 0.0;
+  double dt = 1.0e-11;                  ///< integration step [s]
+};
+
+/// Piecewise-linear gain envelope for SHIL ramp-in during a window.
+struct GainRamp {
+  double start_fraction = 0.0;  ///< ramp start within the window [0,1]
+  double end_fraction = 0.3;    ///< full strength from here on
+  [[nodiscard]] double value(double t_fraction) const noexcept;
+};
+
+class PhaseNetwork {
+ public:
+  PhaseNetwork(const graph::Graph& g, NetworkParams params);
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const NetworkParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t size() const noexcept { return theta_.size(); }
+
+  // --- state -----------------------------------------------------------
+  [[nodiscard]] const std::vector<double>& phases() const noexcept { return theta_; }
+  void set_phases(std::vector<double> phases);
+  /// Random uniform phases in [0, 2pi): the paper's random initialization
+  /// (ROSCs started at random instants and left to drift apart, Sec. 4).
+  void randomize_phases(util::Rng& rng);
+  /// Random perturbation of current phases (re-initialization between
+  /// stages keeps locked phases but jitters them; strength in rad).
+  void perturb_phases(util::Rng& rng, double stddev_rad);
+
+  // --- couplings (B2B / P_EN / L_EN) ------------------------------------
+  void set_uniform_coupling(double j);
+  void set_edge_couplings(std::vector<double> per_edge_j);
+  void set_edge_mask(std::vector<std::uint8_t> mask);
+  void enable_all_edges();
+  void disable_all_edges();
+  [[nodiscard]] const std::vector<std::uint8_t>& edge_mask() const noexcept {
+    return edge_mask_;
+  }
+  /// Global coupling enable (G_EN for B2B blocks).
+  void set_couplings_active(bool active) noexcept { couplings_active_ = active; }
+  [[nodiscard]] bool couplings_active() const noexcept { return couplings_active_; }
+
+  // --- SHIL (SHIL_EN / SHIL_SEL) ----------------------------------------
+  void set_shil_active(bool active) noexcept { shil_active_ = active; }
+  [[nodiscard]] bool shil_active() const noexcept { return shil_active_; }
+  void set_shil_enable(std::vector<std::uint8_t> per_osc_enable);
+  void enable_all_shil();
+  void set_shil_phases(std::vector<double> psi);
+  void set_uniform_shil_phase(double psi);
+  [[nodiscard]] const std::vector<double>& shil_phases() const noexcept {
+    return shil_phase_;
+  }
+  /// Instantaneous SHIL gain multiplier in [0,1] (ramp support).
+  void set_shil_level(double level) noexcept;
+  [[nodiscard]] double shil_level() const noexcept { return shil_level_; }
+
+  // --- detune (oscillator mismatch) --------------------------------------
+  void set_detune(std::vector<double> detune_rad_per_s);
+  void clear_detune();
+
+  // --- dynamics ----------------------------------------------------------
+  /// d(theta)/dt at the given state under current masks/gains.
+  void derivative(const std::vector<double>& theta,
+                  std::vector<double>& dtheta) const;
+
+  /// One Euler-Maruyama step of params.dt.
+  void step(util::Rng& rng);
+  /// One deterministic RK4 step of params.dt (noise off).
+  void step_rk4();
+
+  /// Integrate for a duration [s] with Euler-Maruyama. An optional ramp
+  /// shapes the SHIL level across the window; an optional observer is
+  /// invoked after each step with the elapsed window time.
+  void run(double duration, util::Rng& rng, const GainRamp* shil_ramp = nullptr,
+           const std::function<void(double, const PhaseNetwork&)>& observer = {});
+
+  /// Current energy E(theta) under active masks (excludes SHIL term).
+  [[nodiscard]] double coupling_energy() const;
+  /// SHIL pinning energy term.
+  [[nodiscard]] double shil_energy() const;
+
+  /// Phases wrapped into [0, 2pi).
+  [[nodiscard]] std::vector<double> wrapped_phases() const;
+
+ private:
+  void refresh_trig(const std::vector<double>& theta) const;
+
+  const graph::Graph* graph_;
+  NetworkParams params_;
+  std::vector<double> theta_;
+  std::vector<double> j_;
+  std::vector<std::uint8_t> edge_mask_;
+  std::vector<std::uint8_t> shil_enable_;
+  std::vector<double> shil_phase_;
+  std::vector<double> detune_;
+  bool couplings_active_ = true;
+  bool shil_active_ = false;
+  double shil_level_ = 1.0;
+  // scratch buffers (mutable: derivative() is logically const)
+  mutable std::vector<double> sin_;
+  mutable std::vector<double> cos_;
+  mutable std::vector<double> k1_, k2_, k3_, k4_, tmp_;
+};
+
+/// Wrap an angle into [0, 2pi).
+[[nodiscard]] double wrap_angle(double theta) noexcept;
+
+/// Smallest absolute angular distance between two angles (in [0, pi]).
+[[nodiscard]] double angular_distance(double a, double b) noexcept;
+
+}  // namespace msropm::phase

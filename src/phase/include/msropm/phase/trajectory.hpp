@@ -1,0 +1,47 @@
+#pragma once
+// Phase-trajectory recording: periodic snapshots of the network state during
+// a run, with CSV export. Drives the Fig. 3-style stage-progression plots in
+// the phase domain and the energy-descent property tests.
+
+#include <string>
+#include <vector>
+
+namespace msropm::phase {
+
+class PhaseNetwork;
+
+struct TrajectorySample {
+  double time_s = 0.0;
+  std::vector<double> phases;   // wrapped to [0, 2pi)
+  double coupling_energy = 0.0;
+};
+
+/// Records every `stride`-th observer callback.
+class TrajectoryRecorder {
+ public:
+  explicit TrajectoryRecorder(std::size_t stride = 1);
+
+  /// Observer signature matching PhaseNetwork::run.
+  void operator()(double window_time_s, const PhaseNetwork& net);
+
+  /// Shift subsequent sample timestamps by an offset (stage boundaries).
+  void set_time_offset(double offset_s) noexcept { offset_s_ = offset_s; }
+  [[nodiscard]] double time_offset() const noexcept { return offset_s_; }
+
+  [[nodiscard]] const std::vector<TrajectorySample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  void clear() noexcept;
+
+  /// CSV: time_ns, energy, phase_0 ... phase_{n-1} (degrees).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::size_t stride_;
+  std::size_t counter_ = 0;
+  double offset_s_ = 0.0;
+  std::vector<TrajectorySample> samples_;
+};
+
+}  // namespace msropm::phase

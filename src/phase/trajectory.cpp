@@ -1,0 +1,51 @@
+#include "msropm/phase/trajectory.hpp"
+
+#include <cstdio>
+#include <numbers>
+#include <stdexcept>
+
+#include "msropm/phase/network.hpp"
+
+namespace msropm::phase {
+
+TrajectoryRecorder::TrajectoryRecorder(std::size_t stride) : stride_(stride) {
+  if (stride_ == 0) throw std::invalid_argument("TrajectoryRecorder: stride >= 1");
+}
+
+void TrajectoryRecorder::operator()(double window_time_s, const PhaseNetwork& net) {
+  if (counter_++ % stride_ != 0) return;
+  TrajectorySample s;
+  s.time_s = offset_s_ + window_time_s;
+  s.phases = net.wrapped_phases();
+  s.coupling_energy = net.coupling_energy();
+  samples_.push_back(std::move(s));
+}
+
+void TrajectoryRecorder::clear() noexcept {
+  samples_.clear();
+  counter_ = 0;
+  offset_s_ = 0.0;
+}
+
+std::string TrajectoryRecorder::to_csv() const {
+  std::string out = "time_ns,coupling_energy";
+  if (!samples_.empty()) {
+    for (std::size_t i = 0; i < samples_.front().phases.size(); ++i) {
+      out += ",phase_" + std::to_string(i) + "_deg";
+    }
+  }
+  out += '\n';
+  char buf[64];
+  for (const TrajectorySample& s : samples_) {
+    std::snprintf(buf, sizeof buf, "%.4f,%.6f", s.time_s * 1e9, s.coupling_energy);
+    out += buf;
+    for (double p : s.phases) {
+      std::snprintf(buf, sizeof buf, ",%.3f", p * 180.0 / std::numbers::pi);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace msropm::phase

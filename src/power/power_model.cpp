@@ -1,0 +1,51 @@
+#include "msropm/power/power_model.hpp"
+
+namespace msropm::power {
+
+double ActivityProfile::effective_edge_activity() const noexcept {
+  const double share2 = 1.0 - stage1_coupling_share;
+  return coupling_duty *
+         (stage1_coupling_share + share2 * stage2_active_edge_fraction);
+}
+
+PowerModel::PowerModel(TechnologyParams tech, unsigned rosc_stages,
+                       unsigned readout_buckets)
+    : tech_(tech), stages_(rosc_stages), buckets_(readout_buckets) {}
+
+double PowerModel::rosc_power_w() const noexcept {
+  return static_cast<double>(stages_) * tech_.c_stage_f * tech_.vdd * tech_.vdd *
+         tech_.f0_hz;
+}
+
+double PowerModel::b2b_power_w() const noexcept {
+  return 2.0 * tech_.c_b2b_f * tech_.vdd * tech_.vdd * tech_.f0_hz;
+}
+
+double PowerModel::readout_power_w() const noexcept {
+  return static_cast<double>(buckets_) * tech_.c_dff_f * tech_.vdd * tech_.vdd *
+         tech_.f0_hz;
+}
+
+double PowerModel::shil_injector_power_w() const noexcept {
+  // Injector gate toggles at the sub-harmonic drive frequency 2*f0.
+  return tech_.c_shil_inj_f * tech_.vdd * tech_.vdd * (2.0 * tech_.f0_hz);
+}
+
+double PowerModel::average_power_w(std::size_t num_nodes, std::size_t num_edges,
+                                   const ActivityProfile& activity) const noexcept {
+  const double n = static_cast<double>(num_nodes);
+  const double m = static_cast<double>(num_edges);
+  const double per_node = activity.osc_duty * rosc_power_w() +
+                          activity.osc_duty * readout_power_w() +
+                          activity.shil_duty * shil_injector_power_w();
+  const double per_edge = activity.effective_edge_activity() * b2b_power_w();
+  return n * per_node + m * per_edge + tech_.p_fixed_w;
+}
+
+double PowerModel::energy_per_run_j(std::size_t num_nodes, std::size_t num_edges,
+                                    double run_time_s,
+                                    const ActivityProfile& activity) const noexcept {
+  return average_power_w(num_nodes, num_edges, activity) * run_time_s;
+}
+
+}  // namespace msropm::power

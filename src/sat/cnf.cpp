@@ -1,0 +1,114 @@
+#include "msropm/sat/cnf.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "msropm/util/strings.hpp"
+
+namespace msropm::sat {
+
+void Cnf::add_clause(Clause clause) {
+  for (Lit l : clause) {
+    if (l.var() >= num_vars_) {
+      throw std::invalid_argument("Cnf::add_clause: literal var out of range");
+    }
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+bool Cnf::satisfied_by(const std::vector<std::uint8_t>& assignment) const {
+  if (assignment.size() != num_vars_) {
+    throw std::invalid_argument("Cnf::satisfied_by: assignment size mismatch");
+  }
+  for (const Clause& c : clauses_) {
+    bool sat = false;
+    for (Lit l : c) {
+      const bool value = assignment[l.var()] != 0;
+      if (value != l.negated()) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+Cnf read_dimacs_cnf(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  bool have_header = false;
+  std::size_t declared_vars = 0;
+  Cnf cnf;
+  Clause current;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed[0] == 'c') continue;
+    const auto tokens = util::split_ws(trimmed);
+    if (tokens[0] == "p") {
+      if (have_header || tokens.size() != 4 || tokens[1] != "cnf") {
+        throw std::runtime_error("DIMACS CNF: bad problem line at line " +
+                                 std::to_string(line_no));
+      }
+      const auto v = util::parse_int(tokens[2]);
+      const auto c = util::parse_int(tokens[3]);
+      if (!v || !c || *v < 0 || *c < 0) {
+        throw std::runtime_error("DIMACS CNF: bad counts at line " +
+                                 std::to_string(line_no));
+      }
+      declared_vars = static_cast<std::size_t>(*v);
+      cnf = Cnf(declared_vars);
+      have_header = true;
+      continue;
+    }
+    if (!have_header) {
+      throw std::runtime_error("DIMACS CNF: clause before header at line " +
+                               std::to_string(line_no));
+    }
+    for (const auto& tok : tokens) {
+      const auto value = util::parse_int(tok);
+      if (!value) {
+        throw std::runtime_error("DIMACS CNF: bad literal at line " +
+                                 std::to_string(line_no));
+      }
+      if (*value == 0) {
+        cnf.add_clause(current);
+        current.clear();
+      } else {
+        const auto v = static_cast<std::size_t>(std::llabs(*value)) - 1;
+        if (v >= declared_vars) {
+          throw std::runtime_error("DIMACS CNF: variable out of range at line " +
+                                   std::to_string(line_no));
+        }
+        current.push_back(Lit(static_cast<Var>(v), *value < 0));
+      }
+    }
+  }
+  if (!have_header) throw std::runtime_error("DIMACS CNF: missing header");
+  if (!current.empty()) {
+    throw std::runtime_error("DIMACS CNF: unterminated final clause");
+  }
+  return cnf;
+}
+
+Cnf read_dimacs_cnf_string(const std::string& content) {
+  std::istringstream in(content);
+  return read_dimacs_cnf(in);
+}
+
+void write_dimacs_cnf(std::ostream& out, const Cnf& cnf) {
+  out << "p cnf " << cnf.num_vars() << " " << cnf.num_clauses() << "\n";
+  for (const Clause& c : cnf.clauses()) {
+    for (Lit l : c) out << l.to_dimacs() << " ";
+    out << "0\n";
+  }
+}
+
+std::string write_dimacs_cnf_string(const Cnf& cnf) {
+  std::ostringstream out;
+  write_dimacs_cnf(out, cnf);
+  return out.str();
+}
+
+}  // namespace msropm::sat

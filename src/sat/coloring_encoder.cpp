@@ -1,0 +1,94 @@
+#include "msropm/sat/coloring_encoder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace msropm::sat {
+
+graph::Coloring ColoringEncoding::decode(
+    const std::vector<std::uint8_t>& model) const {
+  graph::Coloring colors(num_nodes, 0);
+  for (graph::NodeId v = 0; v < num_nodes; ++v) {
+    for (unsigned c = 0; c < num_colors; ++c) {
+      if (model.at(var_of(v, c))) {
+        colors[v] = static_cast<graph::Color>(c);
+        break;
+      }
+    }
+  }
+  return colors;
+}
+
+std::vector<graph::NodeId> greedy_clique(const graph::Graph& g) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return {};
+  std::vector<graph::NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&g](graph::NodeId a, graph::NodeId b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) > g.degree(b) : a < b;
+  });
+  std::vector<graph::NodeId> clique;
+  for (graph::NodeId v : order) {
+    const bool compatible = std::all_of(
+        clique.begin(), clique.end(),
+        [&](graph::NodeId u) { return g.has_edge(u, v); });
+    if (compatible) clique.push_back(v);
+  }
+  std::sort(clique.begin(), clique.end());
+  return clique;
+}
+
+ColoringEncoding encode_coloring(const graph::Graph& g, unsigned num_colors,
+                                 ColoringEncodeOptions options) {
+  ColoringEncoding enc;
+  enc.num_nodes = g.num_nodes();
+  enc.num_colors = num_colors;
+  enc.cnf = Cnf(g.num_nodes() * num_colors);
+
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    Clause at_least_one;
+    at_least_one.reserve(num_colors);
+    for (unsigned c = 0; c < num_colors; ++c) {
+      at_least_one.push_back(pos(enc.var_of(v, c)));
+    }
+    enc.cnf.add_clause(std::move(at_least_one));
+    for (unsigned c1 = 0; c1 < num_colors; ++c1) {
+      for (unsigned c2 = c1 + 1; c2 < num_colors; ++c2) {
+        enc.cnf.add_binary(neg(enc.var_of(v, c1)), neg(enc.var_of(v, c2)));
+      }
+    }
+  }
+  for (const graph::Edge& e : g.edges()) {
+    for (unsigned c = 0; c < num_colors; ++c) {
+      enc.cnf.add_binary(neg(enc.var_of(e.u, c)), neg(enc.var_of(e.v, c)));
+    }
+  }
+  if (options.symmetry_breaking) {
+    const auto clique = greedy_clique(g);
+    const auto fixable = std::min<std::size_t>(clique.size(), num_colors);
+    for (std::size_t i = 0; i < fixable; ++i) {
+      enc.cnf.add_unit(pos(enc.var_of(clique[i], static_cast<unsigned>(i))));
+    }
+  }
+  return enc;
+}
+
+std::optional<graph::Coloring> solve_exact_coloring(
+    const graph::Graph& g, unsigned num_colors,
+    ColoringEncodeOptions encode_options, SolverOptions solver_options) {
+  const ColoringEncoding enc = encode_coloring(g, num_colors, encode_options);
+  Solver solver(enc.cnf, solver_options);
+  if (solver.solve() != SolveResult::kSat) return std::nullopt;
+  return enc.decode(solver.model());
+}
+
+std::optional<unsigned> chromatic_number(const graph::Graph& g, unsigned max_k) {
+  if (g.num_nodes() == 0) return 0u;
+  if (g.num_edges() == 0) return 1u;
+  for (unsigned k = 2; k <= max_k; ++k) {
+    if (solve_exact_coloring(g, k)) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace msropm::sat

@@ -1,0 +1,62 @@
+#pragma once
+// K-coloring -> CNF encoding and the exact-coloring baseline used by the
+// paper's accuracy metric ("Exact solutions of the problems are computed
+// using a generic SAT solver, which serves as the baseline", Sec. 4).
+//
+// Encoding (direct encoding, one boolean x_{v,c} per node/color):
+//   - at-least-one color per node:      (x_v0 | x_v1 | ... | x_v,K-1)
+//   - at-most-one color per node:       (~x_vc | ~x_vc') for c < c'
+//   - edge constraint per edge/color:   (~x_uc | ~x_vc)
+// plus optional symmetry breaking that pins the colors of one maximal clique.
+
+#include <optional>
+#include <vector>
+
+#include "msropm/graph/coloring.hpp"
+#include "msropm/graph/graph.hpp"
+#include "msropm/sat/cnf.hpp"
+#include "msropm/sat/solver.hpp"
+
+namespace msropm::sat {
+
+struct ColoringEncoding {
+  Cnf cnf;
+  std::size_t num_nodes = 0;
+  unsigned num_colors = 0;
+
+  /// Variable for "node v has color c".
+  [[nodiscard]] Var var_of(graph::NodeId v, unsigned c) const {
+    return static_cast<Var>(v * num_colors + c);
+  }
+
+  /// Decode a SAT model into a coloring (first set color wins; at-most-one
+  /// clauses guarantee uniqueness in real models).
+  [[nodiscard]] graph::Coloring decode(const std::vector<std::uint8_t>& model) const;
+};
+
+struct ColoringEncodeOptions {
+  /// Greedily find a clique and pre-assign its colors (prunes the color
+  /// permutation symmetry; sound because clique nodes must all differ).
+  bool symmetry_breaking = true;
+};
+
+/// Build the CNF for "g is K-colorable".
+[[nodiscard]] ColoringEncoding encode_coloring(const graph::Graph& g,
+                                               unsigned num_colors,
+                                               ColoringEncodeOptions options = {});
+
+/// Solve for an exact proper K-coloring. nullopt when the graph is not
+/// K-colorable (or the conflict limit was hit).
+[[nodiscard]] std::optional<graph::Coloring> solve_exact_coloring(
+    const graph::Graph& g, unsigned num_colors,
+    ColoringEncodeOptions encode_options = {}, SolverOptions solver_options = {});
+
+/// Chromatic number by iterating K = 1..max_k (small graphs / tests).
+[[nodiscard]] std::optional<unsigned> chromatic_number(const graph::Graph& g,
+                                                       unsigned max_k = 8);
+
+/// Greedy maximal clique (by degree order); used for symmetry breaking and
+/// as a chromatic-number lower bound.
+[[nodiscard]] std::vector<graph::NodeId> greedy_clique(const graph::Graph& g);
+
+}  // namespace msropm::sat

@@ -1,0 +1,399 @@
+#include "msropm/sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace msropm::sat {
+
+Solver::Solver(const Cnf& cnf, SolverOptions options)
+    : num_vars_(cnf.num_vars()),
+      watches_(2 * cnf.num_vars()),
+      assigns_(cnf.num_vars(), LBool::kUndef),
+      polarity_(cnf.num_vars(), options.default_polarity ? 1 : 0),
+      level_(cnf.num_vars(), 0),
+      reason_(cnf.num_vars(), kNoReason),
+      activity_(cnf.num_vars(), 0.0),
+      seen_(cnf.num_vars(), 0),
+      options_(options) {
+  for (const Clause& c : cnf.clauses()) {
+    // Normalize: drop duplicate literals; detect tautologies.
+    Clause lits = c;
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    bool tautology = false;
+    for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+      if (lits[i].var() == lits[i + 1].var()) {
+        tautology = true;
+        break;
+      }
+    }
+    if (tautology) continue;
+    if (lits.empty()) {
+      ok_ = false;
+      return;
+    }
+    if (lits.size() == 1) {
+      if (value(lits[0]) == LBool::kFalse) {
+        ok_ = false;
+        return;
+      }
+      if (value(lits[0]) == LBool::kUndef) enqueue(lits[0], kNoReason);
+      continue;
+    }
+    clauses_.push_back(InternalClause{std::move(lits), 0.0, false, false});
+    attach_clause(static_cast<std::uint32_t>(clauses_.size() - 1));
+  }
+  // Bias branching toward frequently occurring variables.
+  for (const InternalClause& c : clauses_) {
+    for (Lit l : c.lits) activity_[l.var()] += 1.0;
+  }
+}
+
+void Solver::attach_clause(std::uint32_t ci) {
+  const auto& lits = clauses_[ci].lits;
+  watches_[(~lits[0]).index()].push_back(ci);
+  watches_[(~lits[1]).index()].push_back(ci);
+}
+
+void Solver::enqueue(Lit l, std::uint32_t reason) {
+  assigns_[l.var()] = l.negated() ? LBool::kFalse : LBool::kTrue;
+  level_[l.var()] = static_cast<std::uint32_t>(trail_lim_.size());
+  reason_[l.var()] = reason;
+  trail_.push_back(l);
+}
+
+std::uint32_t Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& watch_list = watches_[p.index()];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const std::uint32_t ci = watch_list[i];
+      InternalClause& c = clauses_[ci];
+      if (c.deleted) continue;  // lazily dropped from watch lists
+      auto& lits = c.lits;
+      // Ensure the falsified literal (~p) sits at position 1.
+      const Lit false_lit = ~p;
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      // If first watch is already true, clause is satisfied.
+      if (value(lits[0]) == LBool::kTrue) {
+        watch_list[keep++] = ci;
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < lits.size(); ++k) {
+        if (value(lits[k]) != LBool::kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[(~lits[1]).index()].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflict.
+      watch_list[keep++] = ci;
+      if (value(lits[0]) == LBool::kFalse) {
+        // Conflict: restore remaining watches and report.
+        for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        qhead_ = trail_.size();
+        return ci;
+      }
+      enqueue(lits[0], ci);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoReason;
+}
+
+bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels) {
+  // Recursive minimization (iterative with explicit stack).
+  std::vector<Lit> stack{l};
+  std::vector<Var> to_clear;
+  while (!stack.empty()) {
+    const Lit cur = stack.back();
+    stack.pop_back();
+    const std::uint32_t r = reason_[cur.var()];
+    if (r == kNoReason) {
+      for (Var v : to_clear) seen_[v] = 0;
+      return false;
+    }
+    for (Lit q : clauses_[r].lits) {
+      if (q.var() == cur.var() || seen_[q.var()] || level_[q.var()] == 0) continue;
+      const std::uint32_t lvl_mask = 1u << (level_[q.var()] & 31u);
+      if (reason_[q.var()] == kNoReason || (lvl_mask & abstract_levels) == 0) {
+        for (Var v : to_clear) seen_[v] = 0;
+        return false;
+      }
+      seen_[q.var()] = 1;
+      to_clear.push_back(q.var());
+      stack.push_back(q);
+    }
+  }
+  // Clear the temporary marks; only vars not already marked by analyze()
+  // were added to to_clear, so this cannot unmark learnt-clause literals.
+  for (Var v : to_clear) seen_[v] = 0;
+  return true;
+}
+
+void Solver::analyze(std::uint32_t conflict, std::vector<Lit>& learnt_out,
+                     std::uint32_t& backtrack_level) {
+  learnt_out.clear();
+  learnt_out.push_back(Lit{});  // slot for the asserting literal
+  const auto current_level = static_cast<std::uint32_t>(trail_lim_.size());
+  int counter = 0;
+  Lit p{};
+  bool have_p = false;
+  std::uint32_t reason_clause = conflict;
+  std::size_t trail_index = trail_.size();
+  std::vector<Var> cleanup;
+
+  for (;;) {
+    InternalClause& c = clauses_[reason_clause];
+    if (c.learnt) bump_clause(c);
+    for (Lit q : c.lits) {
+      if (have_p && q.var() == p.var()) continue;
+      if (!seen_[q.var()] && level_[q.var()] > 0) {
+        seen_[q.var()] = 1;
+        cleanup.push_back(q.var());
+        bump_var(q.var());
+        if (level_[q.var()] >= current_level) {
+          ++counter;
+        } else {
+          learnt_out.push_back(q);
+        }
+      }
+    }
+    // Walk the trail back to the next marked literal.
+    do {
+      --trail_index;
+    } while (!seen_[trail_[trail_index].var()]);
+    p = trail_[trail_index];
+    have_p = true;
+    seen_[p.var()] = 0;
+    --counter;
+    if (counter == 0) break;
+    reason_clause = reason_[p.var()];
+  }
+  learnt_out[0] = ~p;
+
+  // Clause minimization: drop literals implied by the rest of the clause.
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < learnt_out.size(); ++i) {
+    abstract_levels |= 1u << (level_[learnt_out[i].var()] & 31u);
+  }
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < learnt_out.size(); ++i) {
+    const Lit l = learnt_out[i];
+    if (reason_[l.var()] == kNoReason || !lit_redundant(l, abstract_levels)) {
+      learnt_out[kept++] = l;
+    }
+  }
+  learnt_out.resize(kept);
+
+  // Compute the backtrack level: highest level below the current one.
+  if (learnt_out.size() == 1) {
+    backtrack_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt_out.size(); ++i) {
+      if (level_[learnt_out[i].var()] > level_[learnt_out[max_i].var()]) max_i = i;
+    }
+    std::swap(learnt_out[1], learnt_out[max_i]);
+    backtrack_level = level_[learnt_out[1].var()];
+  }
+
+  for (Var v : cleanup) seen_[v] = 0;
+}
+
+void Solver::backtrack(std::uint32_t target_level) {
+  if (trail_lim_.size() <= target_level) return;
+  const std::size_t bound = trail_lim_[target_level];
+  for (std::size_t i = trail_.size(); i > bound; --i) {
+    const Var v = trail_[i - 1].var();
+    polarity_[v] = assigns_[v] == LBool::kTrue ? 1 : 0;
+    assigns_[v] = LBool::kUndef;
+    reason_[v] = kNoReason;
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  qhead_ = bound;
+}
+
+std::optional<Lit> Solver::pick_branch_lit() {
+  Var best = 0;
+  double best_activity = -1.0;
+  bool found = false;
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (assigns_[v] == LBool::kUndef && activity_[v] > best_activity) {
+      best = v;
+      best_activity = activity_[v];
+      found = true;
+    }
+  }
+  if (!found) return std::nullopt;
+  return Lit(best, polarity_[best] == 0);
+}
+
+void Solver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void Solver::bump_clause(InternalClause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (std::uint32_t ci : learnt_indices_) clauses_[ci].activity *= 1e-20;
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::decay_activities() {
+  var_inc_ /= options_.activity_decay;
+  clause_inc_ /= 0.999;
+}
+
+void Solver::reduce_learnts() {
+  // Remove the lower-activity half of the learnt clauses that are not
+  // currently reasons and are longer than binary.
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t ci : learnt_indices_) {
+    if (clauses_[ci].deleted) continue;
+    candidates.push_back(ci);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return clauses_[a].activity < clauses_[b].activity;
+            });
+  std::vector<std::uint8_t> is_reason(clauses_.size(), 0);
+  for (Lit l : trail_) {
+    if (reason_[l.var()] != kNoReason) is_reason[reason_[l.var()]] = 1;
+  }
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < candidates.size() / 2; ++i) {
+    InternalClause& c = clauses_[candidates[i]];
+    if (is_reason[candidates[i]] || c.lits.size() <= 2) continue;
+    c.deleted = true;
+    c.lits.clear();
+    c.lits.shrink_to_fit();
+    ++removed;
+  }
+  stats_.removed_learnts += removed;
+  learnt_indices_.erase(
+      std::remove_if(learnt_indices_.begin(), learnt_indices_.end(),
+                     [this](std::uint32_t ci) { return clauses_[ci].deleted; }),
+      learnt_indices_.end());
+}
+
+std::uint64_t Solver::luby(std::uint64_t i) noexcept {
+  // Luby sequence 1,1,2,1,1,2,4,... (0-indexed). Find the smallest complete
+  // subsequence of length 2^seq - 1 containing i, then reduce i into the
+  // tail recursively via modulo until it lands on a subsequence end.
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i %= size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+SolveResult Solver::solve() { return solve({}); }
+
+SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
+  if (!ok_) return SolveResult::kUnsat;
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return SolveResult::kUnsat;
+  }
+  for (Lit a : assumptions) {
+    if (a.var() >= num_vars_) return SolveResult::kUnsat;
+    if (value(a) == LBool::kFalse) return SolveResult::kUnsat;
+    if (value(a) == LBool::kUndef) {
+      enqueue(a, kNoReason);
+      if (propagate() != kNoReason) {
+        ok_ = false;
+        return SolveResult::kUnsat;
+      }
+    }
+  }
+
+  std::vector<Lit> learnt;
+  std::size_t learnt_cap = options_.learnt_cap;
+  std::uint64_t conflicts_until_restart =
+      options_.restart_base * luby(stats_.restarts);
+
+  for (;;) {
+    const std::uint32_t conflict = propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      if (trail_lim_.empty()) {
+        ok_ = false;
+        return SolveResult::kUnsat;
+      }
+      std::uint32_t bt_level = 0;
+      analyze(conflict, learnt, bt_level);
+      backtrack(bt_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        clauses_.push_back(InternalClause{learnt, clause_inc_, true, false});
+        const auto ci = static_cast<std::uint32_t>(clauses_.size() - 1);
+        attach_clause(ci);
+        learnt_indices_.push_back(ci);
+        ++stats_.learnt_clauses;
+        enqueue(learnt[0], ci);
+      }
+      decay_activities();
+      if (options_.conflict_limit != 0 &&
+          stats_.conflicts >= options_.conflict_limit) {
+        return SolveResult::kUnknown;
+      }
+      if (conflicts_until_restart > 0) --conflicts_until_restart;
+    } else {
+      if (conflicts_until_restart == 0) {
+        ++stats_.restarts;
+        backtrack(0);
+        conflicts_until_restart = options_.restart_base * luby(stats_.restarts);
+      }
+      if (learnt_indices_.size() >= learnt_cap) {
+        reduce_learnts();
+        learnt_cap += learnt_cap / 2;
+      }
+      const auto next = pick_branch_lit();
+      if (!next) {
+        // Full assignment: SAT.
+        model_.assign(num_vars_, 0);
+        for (Var v = 0; v < num_vars_; ++v) {
+          model_[v] = assigns_[v] == LBool::kTrue ? 1 : 0;
+        }
+        backtrack(0);
+        return SolveResult::kSat;
+      }
+      ++stats_.decisions;
+      trail_lim_.push_back(trail_.size());
+      enqueue(*next, kNoReason);
+    }
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> solve_cnf(const Cnf& cnf,
+                                                   SolverOptions options) {
+  Solver solver(cnf, options);
+  if (solver.solve() == SolveResult::kSat) return solver.model();
+  return std::nullopt;
+}
+
+}  // namespace msropm::sat

@@ -1,0 +1,77 @@
+#include "msropm/solvers/digital_divide.hpp"
+
+#include <stdexcept>
+
+#include "msropm/core/shil_plan.hpp"
+#include "msropm/graph/partition.hpp"
+
+namespace msropm::solvers {
+
+DigitalDivideResult solve_digital_divide(const graph::Graph& g,
+                                         const DigitalDivideOptions& options,
+                                         util::Rng& rng) {
+  if (!core::valid_color_count(options.num_colors)) {
+    throw std::invalid_argument("digital_divide: colors must be 2^m");
+  }
+  const unsigned num_stages = core::stages_for_colors(options.num_colors);
+  const std::size_t n = g.num_nodes();
+
+  DigitalDivideResult result;
+  result.stages = num_stages;
+
+  // Current partition of original node ids; starts as one group.
+  std::vector<graph::InducedSubgraph> groups;
+  groups.emplace_back();
+  {
+    // Build the identity induced subgraph.
+    graph::GraphBuilder b(n);
+    for (const graph::Edge& e : g.edges()) b.add_edge(e.u, e.v);
+    groups.front().graph = b.build();
+    groups.front().to_original.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      groups.front().to_original[i] = static_cast<graph::NodeId>(i);
+    }
+  }
+
+  std::vector<core::StageBits> bits(n);
+
+  for (unsigned stage = 1; stage <= num_stages; ++stage) {
+    std::vector<graph::InducedSubgraph> next_groups;
+    for (const auto& group : groups) {
+      // "Remap": encode the sub-problem for the solver (one operation per
+      // sub-problem) and move its coupling matrix in.
+      ++result.remap_operations;
+      result.bytes_transferred +=
+          group.graph.num_edges() * sizeof(graph::Edge) +  // couplings in
+          group.to_original.size() * sizeof(graph::NodeId);
+
+      MaxCutResult cut = solve_maxcut_sa(group.graph, options.stage_solver, rng);
+
+      // "Save state": spins out of the solver into memory.
+      result.bytes_transferred += cut.sides.size() * sizeof(std::uint8_t);
+
+      for (std::size_t local = 0; local < cut.sides.size(); ++local) {
+        bits[group.to_original[local]].push_back(cut.sides[local]);
+      }
+      if (stage < num_stages) {
+        auto halves = graph::split_by_labels(group.graph, cut.sides, 2);
+        for (auto& half : halves) {
+          // Rebase the id map onto original ids.
+          for (auto& id : half.to_original) id = group.to_original[id];
+          next_groups.push_back(std::move(half));
+        }
+        // "Reload": partitioned state must be read back before next stage.
+        result.bytes_transferred += cut.sides.size() * sizeof(std::uint8_t);
+      }
+    }
+    groups = std::move(next_groups);
+  }
+
+  result.colors.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.colors[i] = static_cast<graph::Color>(core::color_from_bits(bits[i]));
+  }
+  return result;
+}
+
+}  // namespace msropm::solvers

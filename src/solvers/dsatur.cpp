@@ -1,0 +1,86 @@
+#include "msropm/solvers/dsatur.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace msropm::solvers {
+
+namespace {
+
+DsaturResult dsatur_impl(const graph::Graph& g, unsigned palette_cap) {
+  const std::size_t n = g.num_nodes();
+  DsaturResult result;
+  result.colors.assign(n, 0);
+  if (n == 0) return result;
+
+  constexpr unsigned kUncolored = ~0u;
+  std::vector<unsigned> assigned(n, kUncolored);
+  // Saturation = set of distinct neighbor colors.
+  std::vector<std::set<unsigned>> saturation(n);
+  std::vector<std::uint8_t> done(n, 0);
+
+  for (std::size_t round = 0; round < n; ++round) {
+    // Pick max saturation, ties by degree, then by id.
+    std::size_t pick = n;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (done[u]) continue;
+      if (pick == n) {
+        pick = u;
+        continue;
+      }
+      const auto su = saturation[u].size();
+      const auto sp = saturation[pick].size();
+      if (su > sp || (su == sp && g.degree(static_cast<graph::NodeId>(u)) >
+                                      g.degree(static_cast<graph::NodeId>(pick)))) {
+        pick = u;
+      }
+    }
+    const auto u = static_cast<graph::NodeId>(pick);
+    // Smallest color absent from the neighborhood.
+    unsigned color = 0;
+    while (saturation[pick].count(color) != 0) ++color;
+    if (palette_cap != 0 && color >= palette_cap) {
+      // Bounded: choose the least-conflicting color in the palette.
+      unsigned best_color = 0;
+      std::size_t best_conflicts = ~std::size_t{0};
+      for (unsigned c = 0; c < palette_cap; ++c) {
+        std::size_t conflicts = 0;
+        for (graph::NodeId v : g.neighbors(u)) {
+          if (assigned[v] == c) ++conflicts;
+        }
+        if (conflicts < best_conflicts) {
+          best_conflicts = conflicts;
+          best_color = c;
+        }
+      }
+      color = best_color;
+    }
+    assigned[pick] = color;
+    done[pick] = 1;
+    result.colors_used = std::max(result.colors_used, color + 1);
+    for (graph::NodeId v : g.neighbors(u)) {
+      if (!done[v]) saturation[v].insert(color);
+    }
+  }
+
+  if (result.colors_used > 255) {
+    throw std::runtime_error("dsatur: more than 255 colors needed");
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    result.colors[u] = static_cast<graph::Color>(assigned[u]);
+  }
+  return result;
+}
+
+}  // namespace
+
+DsaturResult solve_dsatur(const graph::Graph& g) { return dsatur_impl(g, 0); }
+
+DsaturResult solve_dsatur_bounded(const graph::Graph& g, unsigned num_colors) {
+  if (num_colors == 0) throw std::invalid_argument("dsatur_bounded: K >= 1");
+  return dsatur_impl(g, num_colors);
+}
+
+}  // namespace msropm::solvers

@@ -1,0 +1,25 @@
+#pragma once
+// DSATUR greedy coloring (Brelaz 1979): color nodes in order of saturation
+// degree. Deterministic, fast; used as the quick software reference and to
+// sanity-check instance colorability in examples.
+
+#include "msropm/graph/coloring.hpp"
+#include "msropm/graph/graph.hpp"
+
+namespace msropm::solvers {
+
+struct DsaturResult {
+  graph::Coloring colors;
+  unsigned colors_used = 0;
+};
+
+/// Unbounded palette: always returns a proper coloring.
+[[nodiscard]] DsaturResult solve_dsatur(const graph::Graph& g);
+
+/// Bounded palette: colors capped at num_colors; nodes that cannot be
+/// properly colored get the least-conflicting color (quality measured by
+/// the usual accuracy metric).
+[[nodiscard]] DsaturResult solve_dsatur_bounded(const graph::Graph& g,
+                                                unsigned num_colors);
+
+}  // namespace msropm::solvers

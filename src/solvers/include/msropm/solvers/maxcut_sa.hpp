@@ -1,0 +1,40 @@
+#pragma once
+// Simulated-annealing max-cut solver.
+//
+// Two uses in the reproduction:
+//  - reference ("best-known") cut values that normalize the Fig. 5(b)
+//    stage-1 max-cut accuracies on instances too large for exact search;
+//  - a software Ising-machine stand-in for the digital divide-and-conquer
+//    baseline (digital_divide.hpp).
+
+#include <cstdint>
+
+#include "msropm/graph/graph.hpp"
+#include "msropm/model/maxcut.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace msropm::solvers {
+
+struct MaxCutSaOptions {
+  double t_start = 3.0;
+  double t_end = 0.01;
+  std::size_t sweeps = 600;
+  bool greedy_finish = true;
+};
+
+struct MaxCutResult {
+  model::CutAssignment sides;
+  std::size_t cut = 0;
+};
+
+[[nodiscard]] MaxCutResult solve_maxcut_sa(const graph::Graph& g,
+                                           const MaxCutSaOptions& options,
+                                           util::Rng& rng);
+
+/// Best cut over `restarts` independent anneals (the reference generator).
+[[nodiscard]] MaxCutResult best_known_maxcut(const graph::Graph& g,
+                                             std::size_t restarts,
+                                             util::Rng& rng,
+                                             MaxCutSaOptions options = {});
+
+}  // namespace msropm::solvers

@@ -1,0 +1,44 @@
+#pragma once
+// Simulated-annealing Potts (K-coloring) solver.
+//
+// Classic single-spin-flip Metropolis annealing over the Potts Hamiltonian
+// (conflict count). Serves as the software baseline the hardware Ising/Potts
+// machine literature compares against (Table 2 cites SA as the baseline of
+// the RTWOIM row) and as the best-known-solution generator for max-cut
+// references on instances too large for exact search.
+
+#include <cstdint>
+
+#include "msropm/graph/coloring.hpp"
+#include "msropm/graph/graph.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace msropm::solvers {
+
+struct SaPottsOptions {
+  unsigned num_colors = 4;
+  double t_start = 2.0;        ///< initial temperature (conflict units)
+  double t_end = 0.02;         ///< final temperature
+  std::size_t sweeps = 400;    ///< full-lattice sweeps
+  bool greedy_finish = true;   ///< zero-temperature polish pass at the end
+};
+
+struct SaPottsResult {
+  graph::Coloring colors;
+  std::size_t conflicts = 0;
+  std::size_t accepted_moves = 0;
+  std::size_t proposed_moves = 0;
+};
+
+/// Anneal from a random assignment.
+[[nodiscard]] SaPottsResult solve_sa_potts(const graph::Graph& g,
+                                           const SaPottsOptions& options,
+                                           util::Rng& rng);
+
+/// Anneal from a caller-provided initial assignment.
+[[nodiscard]] SaPottsResult solve_sa_potts_from(const graph::Graph& g,
+                                                graph::Coloring initial,
+                                                const SaPottsOptions& options,
+                                                util::Rng& rng);
+
+}  // namespace msropm::solvers

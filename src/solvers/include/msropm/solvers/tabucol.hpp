@@ -1,0 +1,35 @@
+#pragma once
+// Tabucol (Hertz & de Werra 1987): tabu search for K-coloring.
+//
+// The Table 2 comparison cites a tabu baseline for the ROIM row [8]; this is
+// the classic coloring variant. Moves are (node-in-conflict, new color)
+// pairs; a move is tabu for `tenure + alpha * conflicts` iterations unless
+// it improves on the best solution seen (aspiration).
+
+#include <cstdint>
+
+#include "msropm/graph/coloring.hpp"
+#include "msropm/graph/graph.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace msropm::solvers {
+
+struct TabucolOptions {
+  unsigned num_colors = 4;
+  std::size_t max_iterations = 20000;
+  std::size_t base_tenure = 7;
+  double tenure_slope = 0.6;   ///< dynamic tenure: base + slope * conflicts
+  bool stop_at_proper = true;  ///< stop early once conflict-free
+};
+
+struct TabucolResult {
+  graph::Coloring colors;
+  std::size_t conflicts = 0;
+  std::size_t iterations_used = 0;
+};
+
+[[nodiscard]] TabucolResult solve_tabucol(const graph::Graph& g,
+                                          const TabucolOptions& options,
+                                          util::Rng& rng);
+
+}  // namespace msropm::solvers

@@ -1,0 +1,76 @@
+#include "msropm/solvers/maxcut_sa.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace msropm::solvers {
+
+MaxCutResult solve_maxcut_sa(const graph::Graph& g, const MaxCutSaOptions& options,
+                             util::Rng& rng) {
+  if (options.t_start <= 0.0 || options.t_end <= 0.0 ||
+      options.t_end > options.t_start) {
+    throw std::invalid_argument("maxcut_sa: need t_start >= t_end > 0");
+  }
+  const std::size_t n = g.num_nodes();
+  MaxCutResult result;
+  result.sides.resize(n);
+  for (auto& s : result.sides) s = rng.bernoulli(0.5) ? 1 : 0;
+  if (n == 0) return result;
+
+  // Signed gain of flipping u: (neighbors on same side) - (on other side).
+  auto flip_gain = [&](graph::NodeId u) {
+    long gain = 0;
+    for (graph::NodeId v : g.neighbors(u)) {
+      gain += (result.sides[v] == result.sides[u]) ? 1 : -1;
+    }
+    return gain;
+  };
+
+  const double cooling =
+      options.sweeps > 1
+          ? std::pow(options.t_end / options.t_start,
+                     1.0 / static_cast<double>(options.sweeps - 1))
+          : 1.0;
+  double temperature = options.t_start;
+  for (std::size_t sweep = 0; sweep < options.sweeps; ++sweep) {
+    for (std::size_t step = 0; step < n; ++step) {
+      const auto u = static_cast<graph::NodeId>(rng.uniform_index(n));
+      const long gain = flip_gain(u);
+      if (gain >= 0 ||
+          rng.uniform() < std::exp(static_cast<double>(gain) / temperature)) {
+        result.sides[u] ^= 1u;
+      }
+    }
+    temperature *= cooling;
+  }
+
+  if (options.greedy_finish) {
+    bool improved = true;
+    std::size_t rounds = 0;
+    while (improved && rounds < 64) {
+      improved = false;
+      ++rounds;
+      for (graph::NodeId u = 0; u < n; ++u) {
+        if (flip_gain(u) > 0) {
+          result.sides[u] ^= 1u;
+          improved = true;
+        }
+      }
+    }
+  }
+
+  result.cut = model::cut_value(g, result.sides);
+  return result;
+}
+
+MaxCutResult best_known_maxcut(const graph::Graph& g, std::size_t restarts,
+                               util::Rng& rng, MaxCutSaOptions options) {
+  MaxCutResult best;
+  for (std::size_t r = 0; r < restarts; ++r) {
+    MaxCutResult candidate = solve_maxcut_sa(g, options, rng);
+    if (r == 0 || candidate.cut > best.cut) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace msropm::solvers

@@ -1,0 +1,47 @@
+#include "msropm/solvers/nshil_ropm.hpp"
+
+#include <stdexcept>
+
+#include "msropm/model/potts.hpp"
+#include "msropm/phase/lock.hpp"
+
+namespace msropm::solvers {
+
+NShilRopm::NShilRopm(const graph::Graph& g, NShilRopmConfig config)
+    : graph_(&g), config_(config) {
+  if (config_.num_colors < 2) throw std::invalid_argument("NShilRopm: N >= 2");
+  config_.network.shil_order = config_.num_colors;
+}
+
+NShilRopmResult NShilRopm::solve(util::Rng& rng) const {
+  phase::PhaseNetwork net(*graph_, config_.network);
+  net.set_uniform_coupling(-1.0);
+  net.set_uniform_shil_phase(0.0);
+
+  // Init: free-running random phases.
+  net.set_couplings_active(false);
+  net.set_shil_active(false);
+  net.randomize_phases(rng);
+  net.run(config_.init_s, rng);
+
+  // Anneal: couplings on, SHIL off.
+  net.enable_all_edges();
+  net.set_couplings_active(true);
+  net.run(config_.anneal_s, rng);
+
+  // Lock: order-N SHIL ramps in, pinning phases at the N Potts spots.
+  net.set_shil_active(true);
+  net.set_shil_level(1.0);
+  net.run(config_.lock_s, rng, &config_.shil_ramp);
+
+  NShilRopmResult result;
+  const auto& theta = net.phases();
+  const std::vector<double> zero_psi(theta.size(), 0.0);
+  result.max_lock_residual =
+      phase::max_lock_residual(theta, zero_psi, config_.num_colors);
+  const auto spins = model::potts_from_phases(theta, config_.num_colors);
+  result.colors = model::coloring_from_potts(spins);
+  return result;
+}
+
+}  // namespace msropm::solvers

@@ -1,0 +1,110 @@
+#include "msropm/solvers/tabucol.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace msropm::solvers {
+
+TabucolResult solve_tabucol(const graph::Graph& g, const TabucolOptions& options,
+                            util::Rng& rng) {
+  if (options.num_colors < 2) throw std::invalid_argument("tabucol: K >= 2");
+  const std::size_t n = g.num_nodes();
+  const unsigned k = options.num_colors;
+
+  TabucolResult result;
+  result.colors.resize(n);
+  for (auto& c : result.colors) {
+    c = static_cast<graph::Color>(rng.uniform_index(k));
+  }
+  if (n == 0) return result;
+
+  // conflict_table[u*k + c] = number of neighbors of u colored c.
+  std::vector<std::uint32_t> conflict_table(n * k, 0);
+  for (const graph::Edge& e : g.edges()) {
+    ++conflict_table[e.u * k + result.colors[e.v]];
+    ++conflict_table[e.v * k + result.colors[e.u]];
+  }
+  auto total_conflicts = [&]() {
+    std::size_t total = 0;
+    for (const graph::Edge& e : g.edges()) {
+      if (result.colors[e.u] == result.colors[e.v]) ++total;
+    }
+    return total;
+  };
+
+  std::size_t conflicts = total_conflicts();
+  graph::Coloring best_colors = result.colors;
+  std::size_t best_conflicts = conflicts;
+
+  // tabu_until[u*k + c]: iteration until which assigning color c to u is tabu.
+  std::vector<std::size_t> tabu_until(n * k, 0);
+
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    if (best_conflicts == 0 && options.stop_at_proper) break;
+    // Collect conflicted nodes.
+    long best_delta = std::numeric_limits<long>::max();
+    graph::NodeId best_node = 0;
+    graph::Color best_color = 0;
+    std::size_t candidates = 0;
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const graph::Color cu = result.colors[u];
+      const auto own_conflicts = conflict_table[u * k + cu];
+      if (own_conflicts == 0) continue;
+      for (unsigned c = 0; c < k; ++c) {
+        if (c == cu) continue;
+        const long delta = static_cast<long>(conflict_table[u * k + c]) -
+                           static_cast<long>(own_conflicts);
+        const bool tabu = tabu_until[u * k + c] >= iter;
+        const bool aspirates =
+            static_cast<long>(conflicts) + delta <
+            static_cast<long>(best_conflicts);
+        if (tabu && !aspirates) continue;
+        ++candidates;
+        // Ties broken uniformly at random (reservoir of size 1).
+        if (delta < best_delta ||
+            (delta == best_delta && rng.uniform_index(candidates) == 0)) {
+          best_delta = delta;
+          best_node = u;
+          best_color = static_cast<graph::Color>(c);
+        }
+      }
+    }
+    if (candidates == 0) {
+      // Everything tabu: random perturbation to escape.
+      const auto u = static_cast<graph::NodeId>(rng.uniform_index(n));
+      best_node = u;
+      best_color = static_cast<graph::Color>(rng.uniform_index(k));
+      best_delta = static_cast<long>(conflict_table[u * k + best_color]) -
+                   static_cast<long>(conflict_table[u * k + result.colors[u]]);
+      if (best_color == result.colors[u]) continue;
+    }
+
+    // Apply the move.
+    const graph::Color old_color = result.colors[best_node];
+    result.colors[best_node] = best_color;
+    for (graph::NodeId v : g.neighbors(best_node)) {
+      --conflict_table[v * k + old_color];
+      ++conflict_table[v * k + best_color];
+    }
+    conflicts = static_cast<std::size_t>(static_cast<long>(conflicts) + best_delta);
+    const std::size_t tenure =
+        options.base_tenure +
+        static_cast<std::size_t>(options.tenure_slope *
+                                 static_cast<double>(conflicts)) +
+        rng.uniform_index(4);
+    tabu_until[best_node * k + old_color] = iter + tenure;
+    result.iterations_used = iter;
+
+    if (conflicts < best_conflicts) {
+      best_conflicts = conflicts;
+      best_colors = result.colors;
+    }
+  }
+
+  result.colors = std::move(best_colors);
+  result.conflicts = best_conflicts;
+  return result;
+}
+
+}  // namespace msropm::solvers

@@ -1,0 +1,65 @@
+#include "msropm/util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace msropm::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), inv_width_(0.0), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram needs >= 1 bin");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram needs hi > lo");
+  inv_width_ = static_cast<double>(bins) / (hi - lo);
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<long>((x - lo_) * inv_width_);
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const { return counts_.at(bin); }
+
+double Histogram::bin_center(std::size_t bin) const {
+  const auto [blo, bhi] = bin_range(bin);
+  return 0.5 * (blo + bhi);
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram bin");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return {lo_ + width * static_cast<double>(bin),
+          lo_ + width * static_cast<double>(bin + 1)};
+}
+
+std::size_t Histogram::max_count() const noexcept {
+  return counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+}
+
+std::size_t Histogram::mode_bin() const noexcept {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::render_ascii(std::size_t width) const {
+  std::string out;
+  const std::size_t peak = std::max<std::size_t>(max_count(), 1);
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto [blo, bhi] = bin_range(b);
+    const std::size_t bar = counts_[b] * width / peak;
+    std::snprintf(line, sizeof line, "[%6.3f,%6.3f) %6zu |", blo, bhi, counts_[b]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace msropm::util

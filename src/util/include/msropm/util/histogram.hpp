@@ -1,0 +1,46 @@
+#pragma once
+// Fixed-bin histogram used for the Fig. 5(c) Hamming-distance histograms and
+// for phase-distribution diagnostics. Includes an ASCII renderer so benches
+// can print the same shape the paper plots.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace msropm::util {
+
+/// Histogram over [lo, hi) with uniformly sized bins.
+/// Values below lo are clamped to the first bin, values >= hi to the last
+/// (the paper's Hamming distances live in [0, 1] and 1.0 must be countable).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(const std::vector<double>& xs) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  /// Center of bin i.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  /// [lo, hi) of bin i.
+  [[nodiscard]] std::pair<double, double> bin_range(std::size_t bin) const;
+  [[nodiscard]] std::size_t max_count() const noexcept;
+  /// Index of the fullest bin (first one on ties).
+  [[nodiscard]] std::size_t mode_bin() const noexcept;
+
+  /// Render as rows of "[lo,hi) count |#####".
+  [[nodiscard]] std::string render_ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double inv_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace msropm::util

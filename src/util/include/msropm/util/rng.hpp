@@ -1,0 +1,83 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation for all stochastic
+// components of the MSROPM reproduction (initial oscillator phases, phase
+// noise, annealing baselines, graph generators).
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded through
+// splitmix64 so that any 64-bit seed yields a well-mixed initial state.
+// It satisfies the C++ UniformRandomBitGenerator concept, so it can be used
+// with <random> distributions, but the common draws (uniform real, normal,
+// integer range, Bernoulli) are provided as members for convenience and
+// reproducibility across standard-library implementations.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace msropm::util {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG. Fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a 64-bit seed. Two Rng objects with the same seed
+  /// produce identical streams on every platform.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit draw.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire rejection to
+  /// avoid modulo bias.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal draw (Box-Muller with caching of the second value).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal draw with mean/stddev.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli draw with probability p of true.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Uniform phase in [0, 2*pi).
+  [[nodiscard]] double uniform_phase() noexcept;
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-iteration streams).
+  [[nodiscard]] Rng split() noexcept;
+
+  /// Expose state for checkpoint tests.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept { return s_; }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace msropm::util

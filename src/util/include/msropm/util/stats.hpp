@@ -1,0 +1,63 @@
+#pragma once
+// Streaming statistics used by the experiment harnesses: Welford running
+// moments, min/max tracking, percentiles over retained samples, and Pearson
+// correlation (used to reproduce the stage-1 vs final accuracy correlation
+// discussed with Fig. 5b of the paper).
+
+#include <cstddef>
+#include <vector>
+
+namespace msropm::util {
+
+/// Numerically stable running mean/variance (Welford) with min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Population variance (n denominator). Zero for n < 2.
+  [[nodiscard]] double variance() const noexcept;
+  /// Sample variance (n-1 denominator). Zero for n < 2.
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample container with percentile queries (copies and sorts on demand).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return samples_; }
+
+  /// Linear-interpolated percentile, p in [0, 100]. Requires non-empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Pearson correlation coefficient of two equal-length series.
+/// Returns 0 when either series has zero variance or sizes mismatch/empty.
+[[nodiscard]] double pearson_correlation(const std::vector<double>& x,
+                                         const std::vector<double>& y) noexcept;
+
+}  // namespace msropm::util

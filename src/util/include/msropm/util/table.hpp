@@ -1,0 +1,41 @@
+#pragma once
+// Console table and CSV emitters used by every bench binary so that the
+// regenerated tables/figures print in a uniform, diffable format.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace msropm::util {
+
+/// Column-aligned console table. Cells are strings; callers format numbers
+/// with format_double()/format_sci() for consistent precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return header_.size(); }
+
+  /// Render with column separators and a header rule.
+  [[nodiscard]] std::string render() const;
+  /// Render as CSV (comma-separated, quoting cells containing commas).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals.
+[[nodiscard]] std::string format_double(double v, int decimals = 3);
+/// Format in scientific notation, e.g. "4.95e+29" (search-space sizes).
+[[nodiscard]] std::string format_sci(double v, int decimals = 2);
+/// Format "4^N" style power expression used by Table 1's search-space row.
+[[nodiscard]] std::string format_pow(unsigned base, std::size_t exponent);
+
+/// Write string content to a file, creating parent directory if simple.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace msropm::util

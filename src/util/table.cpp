@@ -1,0 +1,93 @@
+#include "msropm/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace msropm::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable needs >= 1 column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+      out += (c + 1 == row.size()) ? "\n" : "  ";
+    }
+  };
+  std::string out;
+  emit_row(header_, out);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out.append(total >= 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string TextTable::render_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find(',') == std::string::npos && s.find('"') == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += quote(row[c]);
+      out += (c + 1 == row.size()) ? "\n" : ",";
+    }
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string format_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_sci(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", decimals, v);
+  return buf;
+}
+
+std::string format_pow(unsigned base, std::size_t exponent) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%u^%zu", base, exponent);
+  return buf;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << content;
+}
+
+}  // namespace msropm::util

@@ -1,0 +1,86 @@
+// Tests for Hamming-distance analysis (Fig. 5c machinery).
+#include "msropm/analysis/hamming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace msropm;
+using analysis::hamming_distance;
+using analysis::hamming_distance_invariant;
+using analysis::pairwise_hamming;
+using analysis::pairwise_hamming_invariant;
+
+TEST(Hamming, BasicDistances) {
+  EXPECT_DOUBLE_EQ(hamming_distance({0, 1, 2, 3}, {0, 1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(hamming_distance({0, 0, 0, 0}, {1, 1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(hamming_distance({0, 1, 0, 1}, {0, 1, 1, 1}), 0.25);
+}
+
+TEST(Hamming, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(hamming_distance({}, {}), 0.0);
+}
+
+TEST(Hamming, SizeMismatchThrows) {
+  EXPECT_THROW((void)hamming_distance({0}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)hamming_distance_invariant({0}, {0, 1}, 2), std::invalid_argument);
+}
+
+TEST(HammingInvariant, RelabelingIsDistanceZero) {
+  // Swapping color labels does not change the partition.
+  const graph::Coloring a{0, 1, 2, 3, 0, 1};
+  const graph::Coloring b{3, 2, 1, 0, 3, 2};
+  EXPECT_DOUBLE_EQ(hamming_distance_invariant(a, b, 4), 0.0);
+  EXPECT_GT(hamming_distance(a, b), 0.0);
+}
+
+TEST(HammingInvariant, NeverExceedsRaw) {
+  const graph::Coloring a{0, 1, 2, 3, 2, 1, 0, 0};
+  const graph::Coloring b{1, 1, 0, 3, 2, 2, 0, 3};
+  EXPECT_LE(hamming_distance_invariant(a, b, 4), hamming_distance(a, b));
+}
+
+TEST(HammingInvariant, GenuinelyDifferentPartitions) {
+  // {01}{23} vs {02}{13} partitions differ under every relabeling.
+  const graph::Coloring a{0, 0, 1, 1};
+  const graph::Coloring b{0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(hamming_distance_invariant(a, b, 2), 0.5);
+}
+
+TEST(HammingInvariant, RejectsTooManyColors) {
+  EXPECT_THROW((void)hamming_distance_invariant({0}, {0}, 9), std::invalid_argument);
+  EXPECT_THROW((void)hamming_distance_invariant({0}, {0}, 0), std::invalid_argument);
+}
+
+TEST(PairwiseHamming, CountAndValues) {
+  const std::vector<graph::Coloring> sols{{0, 0}, {0, 1}, {1, 1}};
+  const auto d = pairwise_hamming(sols);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 0.5);  // {00} vs {01}
+  EXPECT_DOUBLE_EQ(d[1], 1.0);  // {00} vs {11}
+  EXPECT_DOUBLE_EQ(d[2], 0.5);  // {01} vs {11}
+}
+
+TEST(PairwiseHamming, SingleSolutionGivesNoPairs) {
+  EXPECT_TRUE(pairwise_hamming({{0, 1}}).empty());
+  EXPECT_TRUE(pairwise_hamming({}).empty());
+}
+
+TEST(PairwiseHammingInvariant, AllPairsBounded) {
+  const std::vector<graph::Coloring> sols{
+      {0, 1, 2, 3}, {3, 2, 1, 0}, {0, 0, 1, 1}, {2, 2, 3, 3}};
+  const auto raw = pairwise_hamming(sols);
+  const auto inv = pairwise_hamming_invariant(sols, 4);
+  ASSERT_EQ(raw.size(), inv.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_LE(inv[i], raw[i]);
+    EXPECT_GE(inv[i], 0.0);
+  }
+  // Solutions 0/1 and 2/3 are relabelings of each other.
+  EXPECT_DOUBLE_EQ(inv[0], 0.0);
+  EXPECT_DOUBLE_EQ(inv[5], 0.0);
+}
+
+}  // namespace

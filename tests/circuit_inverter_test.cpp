@@ -1,0 +1,63 @@
+// Tests for the behavioural inverter model.
+#include "msropm/circuit/inverter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace msropm::circuit;
+
+TEST(InverterVtc, InvertsRails) {
+  const InverterParams p;
+  EXPECT_NEAR(inverter_vtc(0.0, p), p.vdd, 0.01);
+  EXPECT_NEAR(inverter_vtc(p.vdd, p), 0.0, 0.01);
+}
+
+TEST(InverterVtc, MonotonicallyDecreasing) {
+  const InverterParams p;
+  double prev = inverter_vtc(0.0, p);
+  for (double vin = 0.05; vin <= 1.0; vin += 0.05) {
+    const double out = inverter_vtc(vin, p);
+    EXPECT_LT(out, prev);
+    prev = out;
+  }
+}
+
+TEST(InverterVtc, ThresholdIsMidpoint) {
+  const InverterParams p;
+  EXPECT_NEAR(inverter_vtc(p.threshold, p), p.vdd / 2, 1e-9);
+}
+
+TEST(InverterVtc, SkewedThresholdModels4to1Sizing) {
+  // The paper sizes PMOS:NMOS 4:1, pushing the switching point above VDD/2.
+  const InverterParams p;
+  EXPECT_GT(p.threshold, p.vdd / 2);
+}
+
+TEST(InverterDvdt, DrivesTowardTarget) {
+  const InverterParams p;
+  // Input low -> target high; below-target output must rise.
+  EXPECT_GT(inverter_dvdt(0.0, 0.2, p), 0.0);
+  // Input high -> target low; above-target output must fall.
+  EXPECT_LT(inverter_dvdt(p.vdd, 0.8, p), 0.0);
+  // At the target, derivative vanishes.
+  EXPECT_NEAR(inverter_dvdt(0.0, inverter_vtc(0.0, p), p), 0.0, 1e-9);
+}
+
+TEST(RingFrequencyEstimate, ScalesInverselyWithStagesAndTau) {
+  InverterParams p;
+  p.tau = 3e-11;
+  const double f11 = estimate_ring_frequency(p, 11);
+  const double f5 = estimate_ring_frequency(p, 5);
+  EXPECT_GT(f5, f11);
+  p.tau = 6e-11;
+  EXPECT_NEAR(estimate_ring_frequency(p, 11), f11 / 2, f11 * 0.01);
+}
+
+TEST(Calibration, HitsRequestedFrequencyEstimate) {
+  const auto p = calibrate_for_frequency(1.3e9, 11);
+  EXPECT_NEAR(estimate_ring_frequency(p, 11), 1.3e9, 1.3e9 * 1e-6);
+  EXPECT_GT(p.tau, 0.0);
+}
+
+}  // namespace

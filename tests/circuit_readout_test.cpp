@@ -1,0 +1,117 @@
+// Tests for the DFF/REF phase-readout block (paper Fig. 4c).
+#include "msropm/circuit/readout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "msropm/circuit/fabric.hpp"
+#include "msropm/graph/builders.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace {
+
+using namespace msropm;
+using circuit::PhaseReadout;
+using circuit::ReferenceSignal;
+
+constexpr double kT = 1.0 / 1.3e9;  // reference period
+
+TEST(ReferenceSignal, WindowTiming) {
+  const ReferenceSignal ref{kT, 0.25, 0.25};
+  EXPECT_FALSE(ref.high(0.0));
+  EXPECT_TRUE(ref.high(0.30 * kT));
+  EXPECT_FALSE(ref.high(0.55 * kT));
+  // Periodicity.
+  EXPECT_TRUE(ref.high(5 * kT + 0.3 * kT));
+}
+
+TEST(ReferenceSignal, WrapAroundWindow) {
+  const ReferenceSignal ref{kT, 0.9, 0.25};
+  EXPECT_TRUE(ref.high(0.95 * kT));
+  EXPECT_TRUE(ref.high(0.05 * kT));  // wraps past the period boundary
+  EXPECT_FALSE(ref.high(0.5 * kT));
+}
+
+TEST(PhaseReadout, WindowsTileThePeriod) {
+  const PhaseReadout readout(1, 4, kT);
+  // Any instant must see exactly one reference high.
+  for (double f = 0.001; f < 1.0; f += 0.01) {
+    int high = 0;
+    for (const auto& ref : readout.references()) {
+      if (ref.high(f * kT)) ++high;
+    }
+    EXPECT_EQ(high, 1) << "fraction " << f;
+  }
+}
+
+TEST(PhaseReadout, BucketsMatchLockPhases) {
+  PhaseReadout readout(4, 4, kT);
+  // A rising edge exactly at lock phase k (delay k/4 of the period) must
+  // land in bucket k.
+  for (unsigned k = 0; k < 4; ++k) {
+    readout.capture(k, (10.0 + k / 4.0) * kT);
+    EXPECT_EQ(readout.bucket(k), k);
+  }
+}
+
+TEST(PhaseReadout, ToleratesJitterWithinHalfWindow) {
+  PhaseReadout readout(2, 4, kT);
+  readout.capture(0, 10.0 * kT + 0.10 * kT);   // +36 deg of bucket 0
+  readout.capture(1, 10.0 * kT - 0.10 * kT);   // -36 deg of bucket 0
+  EXPECT_EQ(readout.bucket(0), 0u);
+  EXPECT_EQ(readout.bucket(1), 0u);
+}
+
+TEST(PhaseReadout, BinaryResolution) {
+  PhaseReadout readout(2, 2, kT);
+  readout.capture(0, 10.0 * kT);         // 0 deg
+  readout.capture(1, 10.5 * kT);         // 180 deg
+  EXPECT_EQ(readout.bucket(0), 0u);
+  EXPECT_EQ(readout.bucket(1), 1u);
+}
+
+TEST(PhaseReadout, DffOutputsOneHot) {
+  PhaseReadout readout(1, 4, kT);
+  readout.capture(0, 10.25 * kT);
+  const auto dffs = readout.dff_outputs(0);
+  ASSERT_EQ(dffs.size(), 4u);
+  EXPECT_EQ(dffs[0], 0);
+  EXPECT_EQ(dffs[1], 1);
+  EXPECT_EQ(dffs[2], 0);
+  EXPECT_EQ(dffs[3], 0);
+}
+
+TEST(PhaseReadout, UncapturedStateIsReported) {
+  PhaseReadout readout(2, 4, kT);
+  EXPECT_FALSE(readout.captured(0));
+  EXPECT_THROW((void)readout.bucket(0), std::logic_error);
+  EXPECT_THROW(readout.buckets(), std::logic_error);
+  readout.capture(0, kT);
+  EXPECT_TRUE(readout.captured(0));
+  const auto dffs = readout.dff_outputs(1);
+  for (auto d : dffs) EXPECT_EQ(d, 0);
+}
+
+TEST(PhaseReadout, Validation) {
+  EXPECT_THROW(PhaseReadout(1, 1, kT), std::invalid_argument);
+  EXPECT_THROW(PhaseReadout(1, 4, 0.0), std::invalid_argument);
+  PhaseReadout readout(1, 4, kT);
+  EXPECT_THROW(readout.capture(5, 0.0), std::out_of_range);
+  EXPECT_THROW((void)readout.bucket(5), std::out_of_range);
+}
+
+TEST(PhaseReadout, CaptureAllFromFabric) {
+  const auto g = graph::Graph(3);
+  circuit::RoscFabric fabric(g, circuit::FabricParams::paper_defaults());
+  util::Rng rng(3);
+  fabric.randomize(rng);
+  fabric.run(6e-9);
+  PhaseReadout readout(3, 4, fabric.params().reference_period_s);
+  readout.capture_all(fabric);
+  const auto buckets = readout.buckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  for (auto b : buckets) EXPECT_LT(b, 4);
+}
+
+}  // namespace

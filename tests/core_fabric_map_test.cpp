@@ -1,0 +1,177 @@
+// Tests for problem-to-fabric mapping (L_EN problem mapping, Sec. 3.3).
+#include "msropm/core/fabric_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "msropm/analysis/experiments.hpp"
+#include "msropm/core/machine.hpp"
+#include "msropm/graph/builders.hpp"
+#include "msropm/graph/coloring.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace {
+
+using namespace msropm;
+using core::embed_guest;
+using core::FabricMapping;
+using core::map_cells;
+using core::map_window;
+using core::PhysicalFabric;
+
+TEST(PhysicalFabric, TopologyIsKingsGraph) {
+  const PhysicalFabric fabric(4, 5);
+  EXPECT_EQ(fabric.num_cells(), 20u);
+  EXPECT_EQ(fabric.topology(), graph::kings_graph(4, 5));
+}
+
+TEST(PhysicalFabric, CellPositionRoundTrip) {
+  const PhysicalFabric fabric(6, 7);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 7; ++c) {
+      const auto id = fabric.cell(r, c);
+      EXPECT_EQ(fabric.position(id), std::make_pair(r, c));
+    }
+  }
+  EXPECT_THROW((void)fabric.cell(6, 0), std::out_of_range);
+  EXPECT_THROW((void)fabric.position(42), std::out_of_range);
+}
+
+TEST(PhysicalFabric, RejectsEmpty) {
+  EXPECT_THROW(PhysicalFabric(0, 3), std::invalid_argument);
+  EXPECT_THROW(PhysicalFabric(3, 0), std::invalid_argument);
+}
+
+TEST(MapWindow, WindowRealizesSmallerKingsGraph) {
+  // The paper's benchmark mapping: a 7x7 instance on the 46x46 array.
+  const PhysicalFabric fabric(10, 10);
+  const auto m = map_window(fabric, 7, 7);
+  EXPECT_EQ(m.active_graph(), graph::kings_graph_square(7));
+  EXPECT_DOUBLE_EQ(m.utilization(), 0.49);
+}
+
+TEST(MapWindow, FullWindowUsesWholeFabric) {
+  const PhysicalFabric fabric(5, 5);
+  const auto m = map_window(fabric, 5, 5);
+  EXPECT_EQ(m.active_graph(), fabric.topology());
+  EXPECT_DOUBLE_EQ(m.utilization(), 1.0);
+  EXPECT_TRUE(std::all_of(m.cell_enable().begin(), m.cell_enable().end(),
+                          [](std::uint8_t b) { return b == 1; }));
+}
+
+TEST(MapWindow, RejectsOversizedWindow) {
+  const PhysicalFabric fabric(4, 4);
+  EXPECT_THROW((void)map_window(fabric, 5, 3), std::invalid_argument);
+}
+
+TEST(MapCells, DisabledCellsHaveNoCouplings) {
+  // Checkerboard subset of a 4x4 fabric: diagonal couplings remain between
+  // enabled cells; couplings touching disabled cells are gated.
+  const PhysicalFabric fabric(4, 4);
+  std::vector<graph::NodeId> cells;
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      if ((r + c) % 2 == 0) cells.push_back(fabric.cell(r, c));
+    }
+  }
+  const auto m = map_cells(fabric, cells);
+  const auto edges = fabric.topology().edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const bool u_on = m.cell_enable()[edges[e].u];
+    const bool v_on = m.cell_enable()[edges[e].v];
+    EXPECT_EQ(m.edge_enable()[e] == 1, u_on && v_on);
+  }
+}
+
+TEST(MapCells, RejectsDuplicatesAndOutOfRange) {
+  const PhysicalFabric fabric(3, 3);
+  EXPECT_THROW((void)map_cells(fabric, {0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)map_cells(fabric, {99}), std::invalid_argument);
+}
+
+TEST(Lift, RoundTripsGuestColors) {
+  const PhysicalFabric fabric(4, 4);
+  const auto m = map_window(fabric, 2, 2);
+  const graph::Coloring guest{0, 1, 2, 3};
+  const auto lifted = m.lift(guest);
+  ASSERT_EQ(lifted.size(), 16u);
+  for (std::size_t i = 0; i < m.num_guest_nodes(); ++i) {
+    EXPECT_EQ(lifted[m.guest_to_cell()[i]], guest[i]);
+  }
+  const std::size_t unused =
+      static_cast<std::size_t>(std::count(lifted.begin(), lifted.end(), 0xFF));
+  EXPECT_EQ(unused, 12u);
+  EXPECT_THROW((void)m.lift({0, 1}), std::invalid_argument);
+}
+
+TEST(EmbedGuest, CycleEmbeds) {
+  const PhysicalFabric fabric(5, 5);
+  const auto guest = graph::cycle_graph(8);
+  const auto m = embed_guest(fabric, guest);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->active_graph(), guest);
+}
+
+TEST(EmbedGuest, GridEmbeds) {
+  const PhysicalFabric fabric(6, 6);
+  const auto guest = graph::grid_graph(4, 4);
+  const auto m = embed_guest(fabric, guest);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->active_graph(), guest);
+}
+
+TEST(EmbedGuest, K4Embeds) {
+  // K4 = a 2x2 King's block.
+  const PhysicalFabric fabric(4, 4);
+  const auto m = embed_guest(fabric, graph::complete_graph(4));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->active_graph().num_edges(), 6u);
+}
+
+TEST(EmbedGuest, K5Rejected) {
+  // The King's graph's max clique is 4: K5 cannot embed on any fabric.
+  const PhysicalFabric fabric(8, 8);
+  EXPECT_FALSE(embed_guest(fabric, graph::complete_graph(5)).has_value());
+}
+
+TEST(EmbedGuest, TooManyNodesRejected) {
+  const PhysicalFabric fabric(2, 2);
+  EXPECT_FALSE(embed_guest(fabric, graph::path_graph(5)).has_value());
+}
+
+TEST(EmbedGuest, NonGuestCouplingsAreGated) {
+  // Embedding a path may place nodes on diagonally adjacent cells; the
+  // physical couplings that are not path edges must be disabled.
+  const PhysicalFabric fabric(4, 4);
+  const auto guest = graph::path_graph(6);
+  const auto m = embed_guest(fabric, guest);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->active_graph(), guest);  // exactly the guest, nothing extra
+  const std::size_t enabled = static_cast<std::size_t>(std::count(
+      m->edge_enable().begin(), m->edge_enable().end(), std::uint8_t{1}));
+  EXPECT_EQ(enabled, guest.num_edges());
+}
+
+TEST(EmbedGuest, MachineSolvesOnMappedSubFabric) {
+  // End-to-end failure-injection-style check: a problem mapped onto a larger
+  // fabric (many oscillators held off) solves identically to the same graph
+  // standalone -- disabled cells cannot influence the solution.
+  const PhysicalFabric fabric(10, 10);
+  const auto m = map_window(fabric, 4, 4);
+  const auto reference = graph::kings_graph_square(4);
+  core::MultiStagePottsMachine mapped(m.active_graph(),
+                                      analysis::default_machine_config());
+  core::MultiStagePottsMachine standalone(reference,
+                                          analysis::default_machine_config());
+  util::Rng rng_a(21);
+  util::Rng rng_b(21);
+  const auto ra = mapped.solve(rng_a);
+  const auto rb = standalone.solve(rng_b);
+  EXPECT_EQ(ra.colors, rb.colors);  // identical graph + seed => identical run
+  const auto lifted = m.lift(ra.colors);
+  EXPECT_EQ(lifted.size(), 100u);
+}
+
+}  // namespace

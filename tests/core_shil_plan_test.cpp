@@ -1,0 +1,146 @@
+// Tests for the multi-stage SHIL phase plan (paper Sec. 3.1/3.2, Fig. 2).
+#include "msropm/core/shil_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using namespace msropm::core;
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(ColorCount, Validity) {
+  EXPECT_TRUE(valid_color_count(2));
+  EXPECT_TRUE(valid_color_count(4));
+  EXPECT_TRUE(valid_color_count(8));
+  EXPECT_TRUE(valid_color_count(128));
+  EXPECT_FALSE(valid_color_count(0));
+  EXPECT_FALSE(valid_color_count(1));
+  EXPECT_FALSE(valid_color_count(3));
+  EXPECT_FALSE(valid_color_count(6));
+  EXPECT_FALSE(valid_color_count(256));
+}
+
+TEST(StagesForColors, Log2) {
+  EXPECT_EQ(stages_for_colors(2), 1u);
+  EXPECT_EQ(stages_for_colors(4), 2u);
+  EXPECT_EQ(stages_for_colors(8), 3u);
+  EXPECT_EQ(stages_for_colors(16), 4u);
+  EXPECT_THROW((void)stages_for_colors(3), std::invalid_argument);
+  EXPECT_THROW((void)stages_for_colors(0), std::invalid_argument);
+}
+
+TEST(ShilPhase, PaperTwoStagePlan) {
+  // Stage 1: everyone gets SHIL 1 (psi = 0).
+  EXPECT_DOUBLE_EQ(shil_phase_for_bits({}), 0.0);
+  // Stage 2: the 0-degree group keeps SHIL 1; the 180-degree group gets
+  // SHIL 2 at psi = pi/2 (locks 90/270 deg, paper Fig. 2d).
+  EXPECT_DOUBLE_EQ(shil_phase_for_bits({0}), 0.0);
+  EXPECT_DOUBLE_EQ(shil_phase_for_bits({1}), kPi / 2);
+}
+
+TEST(ShilPhase, ThreeStagePlanDistinctOffsets) {
+  std::set<double> offsets;
+  for (std::uint8_t b1 : {0, 1}) {
+    for (std::uint8_t b2 : {0, 1}) {
+      offsets.insert(shil_phase_for_bits({b1, b2}));
+    }
+  }
+  EXPECT_EQ(offsets.size(), 4u);
+  EXPECT_TRUE(offsets.count(0.0));
+  EXPECT_TRUE(offsets.count(kPi / 4));
+  EXPECT_TRUE(offsets.count(kPi / 2));
+  EXPECT_TRUE(offsets.count(3 * kPi / 4));
+}
+
+TEST(ShilPhase, RejectsNonBits) {
+  EXPECT_THROW((void)shil_phase_for_bits({2}), std::invalid_argument);
+}
+
+TEST(GroupFromBits, BinaryPacking) {
+  EXPECT_EQ(group_from_bits({}), 0u);
+  EXPECT_EQ(group_from_bits({1}), 1u);
+  EXPECT_EQ(group_from_bits({0, 1}), 2u);
+  EXPECT_EQ(group_from_bits({1, 1}), 3u);
+  EXPECT_EQ(group_from_bits({1, 0, 1}), 5u);
+}
+
+TEST(FinalPhase, TwoStageProducesQuadraturePhases) {
+  // The four (b1, b2) patterns must land on 0, 90, 180, 270 deg.
+  std::set<int> quadrants;
+  for (std::uint8_t b1 : {0, 1}) {
+    for (std::uint8_t b2 : {0, 1}) {
+      const double theta = final_phase_from_bits({b1, b2});
+      const double slot = theta / (kPi / 2);
+      const int q = static_cast<int>(std::lround(slot)) % 4;
+      EXPECT_NEAR(slot, std::lround(slot), 1e-9);
+      quadrants.insert(q);
+    }
+  }
+  EXPECT_EQ(quadrants.size(), 4u);
+}
+
+class ColorBijectionSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ColorBijectionSweep, ColorFromBitsIsBijective) {
+  const unsigned m = GetParam();
+  const unsigned k = 1u << m;
+  std::set<std::uint8_t> colors;
+  for (std::uint32_t pattern = 0; pattern < k; ++pattern) {
+    StageBits bits(m);
+    for (unsigned j = 0; j < m; ++j) {
+      bits[j] = static_cast<std::uint8_t>((pattern >> j) & 1u);
+    }
+    colors.insert(color_from_bits(bits));
+  }
+  EXPECT_EQ(colors.size(), k) << "every bit pattern must map to a unique color";
+  EXPECT_EQ(*colors.rbegin(), k - 1);
+}
+
+TEST_P(ColorBijectionSweep, BitsFromColorInverts) {
+  const unsigned m = GetParam();
+  const unsigned k = 1u << m;
+  for (unsigned c = 0; c < k; ++c) {
+    const auto bits = bits_from_color(static_cast<std::uint8_t>(c), m);
+    EXPECT_EQ(color_from_bits(bits), c);
+    EXPECT_EQ(bits.size(), m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, ColorBijectionSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(ColorFromBits, AdjacentFinalPhasesAreEquallySpaced) {
+  // After m stages, colors sorted by final phase are exactly 2pi/2^m apart:
+  // the defining property of the vector Potts spin set (Eq. 4).
+  const unsigned m = 3;
+  const unsigned k = 1u << m;
+  std::vector<double> phases;
+  for (std::uint32_t pattern = 0; pattern < k; ++pattern) {
+    StageBits bits(m);
+    for (unsigned j = 0; j < m; ++j) {
+      bits[j] = static_cast<std::uint8_t>((pattern >> j) & 1u);
+    }
+    phases.push_back(final_phase_from_bits(bits));
+  }
+  std::sort(phases.begin(), phases.end());
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    EXPECT_NEAR(phases[i] - phases[i - 1], 2.0 * kPi / k, 1e-9);
+  }
+}
+
+TEST(ColorFromBits, Validation) {
+  EXPECT_THROW((void)color_from_bits({}), std::invalid_argument);
+  EXPECT_THROW(bits_from_color(4, 2), std::invalid_argument);
+  EXPECT_THROW(bits_from_color(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)final_phase_from_bits({}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Tests for DIMACS .col I/O.
+#include "msropm/graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "msropm/graph/builders.hpp"
+
+namespace {
+
+using namespace msropm::graph;
+
+TEST(DimacsIo, ParsesMinimalInstance) {
+  const Graph g = read_dimacs_string(
+      "c a comment\n"
+      "p edge 3 2\n"
+      "e 1 2\n"
+      "e 2 3\n");
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(DimacsIo, AcceptsColVariantAndBlankLines) {
+  const Graph g = read_dimacs_string(
+      "\n"
+      "p col 2 1\n"
+      "\n"
+      "e 1 2\n");
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DimacsIo, CollapsesDuplicateEdges) {
+  const Graph g = read_dimacs_string(
+      "p edge 2 2\n"
+      "e 1 2\n"
+      "e 2 1\n");
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(DimacsIo, RejectsMissingHeader) {
+  EXPECT_THROW(read_dimacs_string("e 1 2\n"), std::runtime_error);
+  EXPECT_THROW(read_dimacs_string(""), std::runtime_error);
+}
+
+TEST(DimacsIo, RejectsDuplicateHeader) {
+  EXPECT_THROW(read_dimacs_string("p edge 2 0\np edge 2 0\n"), std::runtime_error);
+}
+
+TEST(DimacsIo, RejectsMalformedRecords) {
+  EXPECT_THROW(read_dimacs_string("p edge 2\n"), std::runtime_error);
+  EXPECT_THROW(read_dimacs_string("p edge 2 1\ne 1\n"), std::runtime_error);
+  EXPECT_THROW(read_dimacs_string("p edge 2 1\ne 1 x\n"), std::runtime_error);
+  EXPECT_THROW(read_dimacs_string("p edge 2 1\nq 1 2\n"), std::runtime_error);
+}
+
+TEST(DimacsIo, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(read_dimacs_string("p edge 2 1\ne 1 3\n"), std::runtime_error);
+  EXPECT_THROW(read_dimacs_string("p edge 2 1\ne 0 1\n"), std::runtime_error);
+}
+
+TEST(DimacsIo, RejectsSelfLoop) {
+  EXPECT_THROW(read_dimacs_string("p edge 2 1\ne 1 1\n"), std::runtime_error);
+}
+
+TEST(DimacsIo, RejectsMoreEdgesThanDeclared) {
+  EXPECT_THROW(read_dimacs_string("p edge 3 1\ne 1 2\ne 2 3\n"),
+               std::runtime_error);
+}
+
+TEST(DimacsIo, RoundTripPreservesGraph) {
+  const Graph original = kings_graph(4, 5);
+  const auto text = write_dimacs_string(original, "kings 4x5");
+  const Graph parsed = read_dimacs_string(text);
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(DimacsIo, WriteContainsHeaderAndComment) {
+  const Graph g = cycle_graph(3);
+  const auto text = write_dimacs_string(g, "triangle");
+  EXPECT_NE(text.find("c triangle"), std::string::npos);
+  EXPECT_NE(text.find("p edge 3 3"), std::string::npos);
+  EXPECT_NE(text.find("e 1 2"), std::string::npos);
+}
+
+TEST(DimacsIo, FileRoundTrip) {
+  const Graph original = kings_graph_square(5);
+  const std::string path = ::testing::TempDir() + "/kings5.col";
+  write_dimacs_file(path, original);
+  EXPECT_EQ(read_dimacs_file(path), original);
+}
+
+TEST(DimacsIo, MissingFileThrows) {
+  EXPECT_THROW(read_dimacs_file("/nonexistent/definitely/missing.col"),
+               std::runtime_error);
+}
+
+}  // namespace

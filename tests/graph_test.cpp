@@ -1,0 +1,148 @@
+// Tests for the CSR graph core.
+#include "msropm/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "msropm/graph/builders.hpp"
+
+namespace {
+
+using msropm::graph::Graph;
+using msropm::graph::GraphBuilder;
+using msropm::graph::NodeId;
+
+TEST(GraphBuilder, RejectsSelfLoops) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(5, 0), std::invalid_argument);
+}
+
+TEST(GraphBuilder, IgnoresDuplicates) {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.add_edge(0, 1));
+  EXPECT_FALSE(b.add_edge(0, 1));
+  EXPECT_FALSE(b.add_edge(1, 0));  // same undirected edge
+  EXPECT_EQ(b.num_edges(), 1u);
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(0);
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, IsolatedNodes) {
+  const Graph g = GraphBuilder(5).build();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(g.neighbors(3).empty());
+}
+
+TEST(Graph, AdjacencyIsSortedAndSymmetric) {
+  GraphBuilder b(4);
+  b.add_edge(2, 0);
+  b.add_edge(0, 3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_EQ(nbrs[2], 3u);
+  for (NodeId v : {1u, 2u, 3u}) {
+    ASSERT_EQ(g.neighbors(v).size(), 1u);
+    EXPECT_EQ(g.neighbors(v)[0], 0u);
+  }
+}
+
+TEST(Graph, EdgeListCanonical) {
+  GraphBuilder b(4);
+  b.add_edge(3, 1);
+  b.add_edge(2, 0);
+  const Graph g = b.build();
+  for (const auto& e : g.edges()) {
+    EXPECT_LT(e.u, e.v);
+  }
+  // Lexicographic order.
+  EXPECT_EQ(g.edges()[0].u, 0u);
+  EXPECT_EQ(g.edges()[1].u, 1u);
+}
+
+TEST(Graph, HasEdge) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_FALSE(g.has_edge(0, 99));
+}
+
+TEST(Graph, DegreesAndAverages) {
+  const Graph g = msropm::graph::star_graph(5);
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0 * 4.0 / 5.0);
+}
+
+TEST(Graph, NeighborsOutOfRangeThrows) {
+  const Graph g = GraphBuilder(2).build();
+  EXPECT_THROW((void)g.neighbors(2), std::out_of_range);
+  EXPECT_THROW((void)g.degree(7), std::out_of_range);
+}
+
+TEST(Graph, ConnectedComponentsSingle) {
+  const Graph g = msropm::graph::cycle_graph(6);
+  const auto [comp, count] = g.connected_components();
+  EXPECT_EQ(count, 1u);
+  for (auto c : comp) EXPECT_EQ(c, 0u);
+}
+
+TEST(Graph, ConnectedComponentsMultiple) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  // 4, 5 isolated
+  const Graph g = b.build();
+  const auto [comp, count] = g.connected_components();
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[5]);
+}
+
+TEST(Graph, BipartiteDetection) {
+  EXPECT_TRUE(msropm::graph::cycle_graph(4).is_bipartite());
+  EXPECT_FALSE(msropm::graph::cycle_graph(5).is_bipartite());
+  EXPECT_TRUE(msropm::graph::path_graph(7).is_bipartite());
+  EXPECT_TRUE(msropm::graph::complete_bipartite_graph(3, 4).is_bipartite());
+  EXPECT_FALSE(msropm::graph::complete_graph(3).is_bipartite());
+  EXPECT_TRUE(msropm::graph::grid_graph(4, 5).is_bipartite());
+  EXPECT_FALSE(msropm::graph::kings_graph(3, 3).is_bipartite());
+}
+
+TEST(Graph, EqualityComparesStructure) {
+  GraphBuilder b1(3);
+  b1.add_edge(0, 1);
+  GraphBuilder b2(3);
+  b2.add_edge(1, 0);
+  EXPECT_EQ(b1.build(), b2.build());
+  GraphBuilder b3(3);
+  b3.add_edge(0, 2);
+  EXPECT_FALSE(b1.build() == b3.build());
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Tests for the Potts model (paper Eq. 3 / Eq. 4).
+#include "msropm/model/potts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "msropm/graph/builders.hpp"
+
+namespace {
+
+using namespace msropm;
+using model::PottsModel;
+using model::PottsSpin;
+
+TEST(PottsModel, EnergyCountsSameStatePairs) {
+  const auto g = graph::path_graph(3);
+  const PottsModel m(g, 4, 1.0);
+  EXPECT_DOUBLE_EQ(m.energy({0, 0, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(m.energy({0, 1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(m.energy({2, 2, 1}), 1.0);
+}
+
+TEST(PottsModel, RejectsBadStates) {
+  const auto g = graph::path_graph(2);
+  EXPECT_THROW(PottsModel(g, 1), std::invalid_argument);
+  const PottsModel m(g, 3);
+  EXPECT_THROW((void)m.energy({0, 3}), std::invalid_argument);
+  EXPECT_THROW((void)m.energy({0}), std::invalid_argument);
+}
+
+TEST(PottsModel, ColorableGroundEnergyIsZero) {
+  const auto g = graph::kings_graph_square(4);
+  const PottsModel m(g, 4);
+  const auto pattern = graph::kings_graph_pattern_coloring(4, 4);
+  EXPECT_DOUBLE_EQ(m.energy(model::potts_from_coloring(pattern)),
+                   m.colorable_ground_energy());
+}
+
+TEST(PottsModel, VectorEnergyAtIdealPhases) {
+  // Two adjacent spins with the same state sit in-phase: contributes +J.
+  const auto g = graph::path_graph(2);
+  const PottsModel m(g, 4, 1.0);
+  EXPECT_NEAR(m.vector_energy({0.0, 0.0}), 1.0, 1e-12);
+  // Opposite phases: cos(pi) = -1.
+  EXPECT_NEAR(m.vector_energy({0.0, std::numbers::pi}), -1.0, 1e-12);
+  // Orthogonal (adjacent different colors in 4-Potts): 0.
+  EXPECT_NEAR(m.vector_energy({0.0, std::numbers::pi / 2}), 0.0, 1e-12);
+}
+
+TEST(PottsModel, SearchSpaceMatchesPaperTable1) {
+  // Table 1 reports search spaces 4^49, 4^400, 4^1024, 4^2116.
+  const auto g49 = graph::kings_graph_square(7);
+  const PottsModel m(g49, 4);
+  EXPECT_NEAR(m.search_space_log10(), 49.0 * std::log10(4.0), 1e-9);
+  const auto g2116 = graph::kings_graph_square(46);
+  const PottsModel m2(g2116, 4);
+  EXPECT_NEAR(m2.search_space_log10(), 2116.0 * std::log10(4.0), 1e-9);
+  // 4^2116 overflows double; the log form stays finite.
+  EXPECT_TRUE(std::isinf(m2.search_space_size()));
+  EXPECT_FALSE(std::isinf(m2.search_space_log10()));
+}
+
+class PhaseQuantizationSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PhaseQuantizationSweep, RoundTripsAllSpins) {
+  const unsigned n = GetParam();
+  for (unsigned s = 0; s < n; ++s) {
+    const double theta = model::phase_from_potts(static_cast<PottsSpin>(s), n);
+    EXPECT_EQ(model::potts_from_phase(theta, n), s);
+  }
+}
+
+TEST_P(PhaseQuantizationSweep, NearestQuantizationWithinHalfSlot) {
+  const unsigned n = GetParam();
+  const double slot = 2.0 * std::numbers::pi / n;
+  for (unsigned s = 0; s < n; ++s) {
+    const double theta = model::phase_from_potts(static_cast<PottsSpin>(s), n);
+    EXPECT_EQ(model::potts_from_phase(theta + 0.49 * slot, n), s);
+    EXPECT_EQ(model::potts_from_phase(theta - 0.49 * slot, n), s);
+  }
+}
+
+TEST_P(PhaseQuantizationSweep, HandlesWrappedAngles) {
+  const unsigned n = GetParam();
+  EXPECT_EQ(model::potts_from_phase(2.0 * std::numbers::pi, n), 0);
+  EXPECT_EQ(model::potts_from_phase(-2.0 * std::numbers::pi, n), 0);
+  EXPECT_EQ(model::potts_from_phase(4.0 * std::numbers::pi + 0.01, n), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, PhaseQuantizationSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 8u, 16u));
+
+TEST(PhaseQuantization, RejectsBadOrders) {
+  EXPECT_THROW((void)model::potts_from_phase(0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)model::phase_from_potts(3, 3), std::invalid_argument);
+}
+
+TEST(ColoringConversion, Identity) {
+  const graph::Coloring c{0, 1, 2, 3};
+  const auto spins = model::potts_from_coloring(c);
+  EXPECT_EQ(model::coloring_from_potts(spins), c);
+}
+
+TEST(PottsModel, PerEdgeCouplings) {
+  const auto g = graph::path_graph(3);
+  const PottsModel m(g, 3, std::vector<double>{2.0, 5.0});
+  EXPECT_DOUBLE_EQ(m.energy({1, 1, 1}), 7.0);
+  EXPECT_DOUBLE_EQ(m.energy({1, 1, 0}), 2.0);
+  EXPECT_THROW(PottsModel(g, 3, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+}  // namespace

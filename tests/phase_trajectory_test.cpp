@@ -1,0 +1,102 @@
+// Tests for the phase trajectory recorder.
+#include "msropm/phase/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "msropm/graph/builders.hpp"
+#include "msropm/phase/network.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace {
+
+using namespace msropm;
+using phase::PhaseNetwork;
+using phase::TrajectoryRecorder;
+
+phase::NetworkParams test_params() {
+  phase::NetworkParams p;
+  p.noise_stddev = 0.0;
+  p.dt = 1e-11;
+  return p;
+}
+
+TEST(TrajectoryRecorder, RejectsZeroStride) {
+  EXPECT_THROW(TrajectoryRecorder(0), std::invalid_argument);
+}
+
+TEST(TrajectoryRecorder, RecordsEveryStep) {
+  const auto g = graph::path_graph(2);
+  PhaseNetwork net(g, test_params());
+  TrajectoryRecorder rec(1);
+  util::Rng rng(1);
+  net.run(1e-10, rng, nullptr, std::ref(rec));
+  EXPECT_EQ(rec.samples().size(), 10u);
+  EXPECT_EQ(rec.samples().front().phases.size(), 2u);
+}
+
+TEST(TrajectoryRecorder, StrideSubsamples) {
+  const auto g = graph::path_graph(2);
+  PhaseNetwork net(g, test_params());
+  TrajectoryRecorder rec(5);
+  util::Rng rng(1);
+  net.run(1e-10, rng, nullptr, std::ref(rec));
+  EXPECT_EQ(rec.samples().size(), 2u);
+}
+
+TEST(TrajectoryRecorder, TimeOffsetsStageBoundaries) {
+  const auto g = graph::path_graph(2);
+  PhaseNetwork net(g, test_params());
+  TrajectoryRecorder rec(1);
+  util::Rng rng(1);
+  net.run(5e-11, rng, nullptr, std::ref(rec));
+  rec.set_time_offset(5e-11);
+  net.run(5e-11, rng, nullptr, std::ref(rec));
+  ASSERT_EQ(rec.samples().size(), 10u);
+  for (std::size_t i = 1; i < rec.samples().size(); ++i) {
+    EXPECT_GT(rec.samples()[i].time_s, rec.samples()[i - 1].time_s);
+  }
+  EXPECT_NEAR(rec.samples().back().time_s, 1e-10, 1e-13);
+}
+
+TEST(TrajectoryRecorder, RecordsCouplingEnergy) {
+  const auto g = graph::path_graph(2);
+  PhaseNetwork net(g, test_params());
+  net.set_phases({0.0, 3.14159});
+  net.set_couplings_active(true);
+  TrajectoryRecorder rec(1);
+  util::Rng rng(1);
+  net.run(2e-11, rng, nullptr, std::ref(rec));
+  // AF edge, anti-phase: energy ~ -1.
+  EXPECT_NEAR(rec.samples().back().coupling_energy, -1.0, 1e-3);
+}
+
+TEST(TrajectoryRecorder, CsvFormat) {
+  const auto g = graph::path_graph(2);
+  PhaseNetwork net(g, test_params());
+  TrajectoryRecorder rec(1);
+  util::Rng rng(1);
+  net.run(3e-11, rng, nullptr, std::ref(rec));
+  const auto csv = rec.to_csv();
+  EXPECT_NE(csv.find("time_ns,coupling_energy,phase_0_deg,phase_1_deg"),
+            std::string::npos);
+  std::size_t lines = 0;
+  for (char ch : csv) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);  // header + 3 samples
+}
+
+TEST(TrajectoryRecorder, ClearResets) {
+  const auto g = graph::path_graph(2);
+  PhaseNetwork net(g, test_params());
+  TrajectoryRecorder rec(1);
+  util::Rng rng(1);
+  net.run(2e-11, rng, nullptr, std::ref(rec));
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+  EXPECT_EQ(rec.time_offset(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Tests for the activity-based power model against the paper's Table 1.
+#include "msropm/power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msropm/graph/builders.hpp"
+
+namespace {
+
+using namespace msropm;
+using power::ActivityProfile;
+using power::PowerModel;
+using power::TechnologyParams;
+
+struct Table1Row {
+  std::size_t side;
+  std::size_t nodes;
+  double paper_mw;
+  double tolerance_frac;
+};
+
+class Table1PowerSweep : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1PowerSweep, ReproducesPaperPowerWithinTolerance) {
+  const auto& row = GetParam();
+  const auto g = graph::kings_graph_square(row.side);
+  ASSERT_EQ(g.num_nodes(), row.nodes);
+  const PowerModel model;
+  const double p_mw =
+      model.average_power_w(g.num_nodes(), g.num_edges()) * 1e3;
+  EXPECT_NEAR(p_mw, row.paper_mw, row.paper_mw * row.tolerance_frac)
+      << "paper reports " << row.paper_mw << " mW";
+}
+
+// 49- and 2116-node rows calibrate the constants (tight tolerance); the 400-
+// and 1024-node rows are predictions (tolerance ~10%).
+INSTANTIATE_TEST_SUITE_P(PaperRows, Table1PowerSweep,
+                         ::testing::Values(Table1Row{7, 49, 9.4, 0.03},
+                                           Table1Row{20, 400, 60.3, 0.10},
+                                           Table1Row{32, 1024, 146.1, 0.10},
+                                           Table1Row{46, 2116, 283.4, 0.03}));
+
+TEST(PowerModel, ScalesLinearlyWithNodes) {
+  const PowerModel model;
+  // Per-node marginal power is constant: P(2n) - P(n) ~ P(3n) - P(2n).
+  const auto g1 = graph::kings_graph_square(10);
+  const auto g2 = graph::kings_graph_square(20);
+  const auto g3 = graph::kings_graph_square(30);
+  const double p1 = model.average_power_w(g1.num_nodes(), g1.num_edges());
+  const double p2 = model.average_power_w(g2.num_nodes(), g2.num_edges());
+  const double p3 = model.average_power_w(g3.num_nodes(), g3.num_edges());
+  const double slope12 = (p2 - p1) / static_cast<double>(g2.num_nodes() - g1.num_nodes());
+  const double slope23 = (p3 - p2) / static_cast<double>(g3.num_nodes() - g2.num_nodes());
+  EXPECT_NEAR(slope12, slope23, slope12 * 0.05);
+  EXPECT_GT(p2, p1);
+  EXPECT_GT(p3, p2);
+}
+
+TEST(PowerModel, ComponentPowersPositive) {
+  const PowerModel model;
+  EXPECT_GT(model.rosc_power_w(), 0.0);
+  EXPECT_GT(model.b2b_power_w(), 0.0);
+  EXPECT_GT(model.readout_power_w(), 0.0);
+  EXPECT_GT(model.shil_injector_power_w(), 0.0);
+  // ROSC (11 stages) dominates a single B2B.
+  EXPECT_GT(model.rosc_power_w(), model.b2b_power_w());
+}
+
+TEST(PowerModel, FixedOverheadIsIntercept) {
+  TechnologyParams tech;
+  const PowerModel model(tech);
+  EXPECT_NEAR(model.average_power_w(0, 0), tech.p_fixed_w, 1e-12);
+}
+
+TEST(PowerModel, ActivityDutiesScalePower) {
+  const PowerModel model;
+  ActivityProfile idle{};
+  idle.coupling_duty = 0.0;
+  idle.shil_duty = 0.0;
+  ActivityProfile nominal{};
+  const double p_idle = model.average_power_w(100, 400, idle);
+  const double p_nominal = model.average_power_w(100, 400, nominal);
+  EXPECT_LT(p_idle, p_nominal);
+}
+
+TEST(PowerModel, EffectiveEdgeActivity) {
+  ActivityProfile a{};
+  a.coupling_duty = 1.0;
+  a.stage1_coupling_share = 0.5;
+  a.stage2_active_edge_fraction = 0.5;
+  EXPECT_NEAR(a.effective_edge_activity(), 0.75, 1e-12);
+  a.stage2_active_edge_fraction = 1.0;
+  EXPECT_NEAR(a.effective_edge_activity(), 1.0, 1e-12);
+}
+
+TEST(PowerModel, EnergyPerRunIsPowerTimesTime) {
+  const PowerModel model;
+  const auto g = graph::kings_graph_square(7);
+  const double p = model.average_power_w(g.num_nodes(), g.num_edges());
+  const double e = model.energy_per_run_j(g.num_nodes(), g.num_edges(), 60e-9);
+  EXPECT_NEAR(e, p * 60e-9, 1e-15);
+  // 49-node run: order nanojoules (9.4 mW * 60 ns ~ 0.56 nJ).
+  EXPECT_NEAR(e, 0.56e-9, 0.1e-9);
+}
+
+TEST(PowerModel, HigherFrequencyCostsMore) {
+  TechnologyParams fast;
+  fast.f0_hz = 7.0e9;  // the ICCAD'24 ROPM frequency
+  const PowerModel model_fast(fast);
+  const PowerModel model_slow;
+  EXPECT_GT(model_fast.rosc_power_w(), model_slow.rosc_power_w() * 5.0);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Tests for CNF representation and DIMACS CNF I/O.
+#include "msropm/sat/cnf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace msropm::sat;
+
+TEST(Lit, PackingAndPolarity) {
+  const Lit a = pos(3);
+  EXPECT_EQ(a.var(), 3u);
+  EXPECT_FALSE(a.negated());
+  const Lit b = ~a;
+  EXPECT_EQ(b.var(), 3u);
+  EXPECT_TRUE(b.negated());
+  EXPECT_EQ(~b, a);
+  EXPECT_NE(a, b);
+}
+
+TEST(Lit, DimacsIntegers) {
+  EXPECT_EQ(pos(0).to_dimacs(), 1);
+  EXPECT_EQ(neg(0).to_dimacs(), -1);
+  EXPECT_EQ(pos(41).to_dimacs(), 42);
+  EXPECT_EQ(neg(41).to_dimacs(), -42);
+}
+
+TEST(Cnf, NewVarGrows) {
+  Cnf cnf;
+  EXPECT_EQ(cnf.num_vars(), 0u);
+  EXPECT_EQ(cnf.new_var(), 0u);
+  EXPECT_EQ(cnf.new_var(), 1u);
+  EXPECT_EQ(cnf.num_vars(), 2u);
+}
+
+TEST(Cnf, AddClauseValidatesRange) {
+  Cnf cnf(2);
+  cnf.add_binary(pos(0), neg(1));
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_THROW(cnf.add_unit(pos(2)), std::invalid_argument);
+}
+
+TEST(Cnf, SatisfiedBy) {
+  Cnf cnf(2);
+  cnf.add_binary(pos(0), pos(1));
+  cnf.add_unit(neg(0));
+  EXPECT_TRUE(cnf.satisfied_by({0, 1}));
+  EXPECT_FALSE(cnf.satisfied_by({0, 0}));
+  EXPECT_FALSE(cnf.satisfied_by({1, 1}));
+  EXPECT_THROW((void)cnf.satisfied_by({0}), std::invalid_argument);
+}
+
+TEST(Cnf, EmptyClauseUnsatisfiable) {
+  Cnf cnf(1);
+  cnf.add_clause({});
+  EXPECT_FALSE(cnf.satisfied_by({0}));
+  EXPECT_FALSE(cnf.satisfied_by({1}));
+}
+
+TEST(DimacsCnf, ParsesStandardFormat) {
+  const Cnf cnf = read_dimacs_cnf_string(
+      "c example\n"
+      "p cnf 3 2\n"
+      "1 -2 0\n"
+      "2 3 0\n");
+  EXPECT_EQ(cnf.num_vars(), 3u);
+  EXPECT_EQ(cnf.num_clauses(), 2u);
+  EXPECT_EQ(cnf.clauses()[0][0], pos(0));
+  EXPECT_EQ(cnf.clauses()[0][1], neg(1));
+}
+
+TEST(DimacsCnf, MultiLineClause) {
+  const Cnf cnf = read_dimacs_cnf_string(
+      "p cnf 3 1\n"
+      "1 2\n"
+      "3 0\n");
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_EQ(cnf.clauses()[0].size(), 3u);
+}
+
+TEST(DimacsCnf, RejectsMalformed) {
+  EXPECT_THROW(read_dimacs_cnf_string(""), std::runtime_error);
+  EXPECT_THROW(read_dimacs_cnf_string("1 0\n"), std::runtime_error);
+  EXPECT_THROW(read_dimacs_cnf_string("p cnf 1 1\n2 0\n"), std::runtime_error);
+  EXPECT_THROW(read_dimacs_cnf_string("p cnf 1 1\n1\n"), std::runtime_error);
+  EXPECT_THROW(read_dimacs_cnf_string("p cnf x 1\n"), std::runtime_error);
+}
+
+TEST(DimacsCnf, RoundTrip) {
+  Cnf cnf(4);
+  cnf.add_ternary(pos(0), neg(2), pos(3));
+  cnf.add_unit(neg(1));
+  const auto text = write_dimacs_cnf_string(cnf);
+  const Cnf parsed = read_dimacs_cnf_string(text);
+  EXPECT_EQ(parsed.num_vars(), cnf.num_vars());
+  ASSERT_EQ(parsed.num_clauses(), cnf.num_clauses());
+  for (std::size_t i = 0; i < cnf.num_clauses(); ++i) {
+    EXPECT_EQ(parsed.clauses()[i], cnf.clauses()[i]);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Tests for the coloring CNF encoder and the exact-coloring baseline.
+#include "msropm/sat/coloring_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msropm/graph/builders.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace {
+
+using namespace msropm;
+using namespace msropm::sat;
+
+graph::Graph petersen() {
+  graph::GraphBuilder b(10);
+  // Outer C5, inner pentagram, spokes.
+  for (int i = 0; i < 5; ++i) {
+    b.add_edge(i, (i + 1) % 5);
+    b.add_edge(5 + i, 5 + (i + 2) % 5);
+    b.add_edge(i, 5 + i);
+  }
+  return b.build();
+}
+
+TEST(Encoder, VariableLayout) {
+  const auto g = graph::path_graph(3);
+  const auto enc = encode_coloring(g, 4, {.symmetry_breaking = false});
+  EXPECT_EQ(enc.cnf.num_vars(), 12u);
+  EXPECT_EQ(enc.var_of(2, 3), 11u);
+  // ALO n + AMO n*C(4,2) + edges m*4 clauses.
+  EXPECT_EQ(enc.cnf.num_clauses(), 3u + 3u * 6u + 2u * 4u);
+}
+
+TEST(Encoder, SymmetryBreakingAddsUnits) {
+  const auto g = graph::complete_graph(4);
+  const auto plain = encode_coloring(g, 4, {.symmetry_breaking = false});
+  const auto broken = encode_coloring(g, 4, {.symmetry_breaking = true});
+  EXPECT_EQ(broken.cnf.num_clauses(), plain.cnf.num_clauses() + 4u);
+}
+
+TEST(GreedyClique, FindsK4InKingsGraph) {
+  const auto g = graph::kings_graph(3, 3);
+  const auto clique = greedy_clique(g);
+  EXPECT_GE(clique.size(), 4u);
+  for (std::size_t i = 0; i < clique.size(); ++i) {
+    for (std::size_t j = i + 1; j < clique.size(); ++j) {
+      EXPECT_TRUE(g.has_edge(clique[i], clique[j]));
+    }
+  }
+}
+
+struct ColoringCase {
+  const char* name;
+  graph::Graph graph;
+  unsigned colors;
+  bool expect_colorable;
+};
+
+class ExactColoringSweep : public ::testing::TestWithParam<ColoringCase> {};
+
+TEST_P(ExactColoringSweep, MatchesKnownColorability) {
+  const auto& param = GetParam();
+  const auto coloring = solve_exact_coloring(param.graph, param.colors);
+  EXPECT_EQ(coloring.has_value(), param.expect_colorable) << param.name;
+  if (coloring) {
+    EXPECT_TRUE(graph::is_proper_coloring(param.graph, *coloring, param.colors))
+        << param.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnownGraphs, ExactColoringSweep,
+    ::testing::Values(
+        ColoringCase{"triangle2", graph::cycle_graph(3), 2, false},
+        ColoringCase{"triangle3", graph::cycle_graph(3), 3, true},
+        ColoringCase{"evencycle2", graph::cycle_graph(8), 2, true},
+        ColoringCase{"oddcycle2", graph::cycle_graph(7), 2, false},
+        ColoringCase{"oddcycle3", graph::cycle_graph(7), 3, true},
+        ColoringCase{"k4_3", graph::complete_graph(4), 3, false},
+        ColoringCase{"k4_4", graph::complete_graph(4), 4, true},
+        ColoringCase{"k5_4", graph::complete_graph(5), 4, false},
+        ColoringCase{"petersen3", petersen(), 3, true},
+        ColoringCase{"bipartite2", graph::complete_bipartite_graph(4, 5), 2, true},
+        ColoringCase{"kings55_3", graph::kings_graph_square(5), 3, false},
+        ColoringCase{"kings55_4", graph::kings_graph_square(5), 4, true},
+        ColoringCase{"wheel6_4", graph::wheel_graph(6), 4, true},
+        ColoringCase{"wheel6_3", graph::wheel_graph(6), 3, false}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ExactColoring, PaperInstance49NodeIsExactly4Chromatic) {
+  // The accuracy baseline of the paper: a proper 4-coloring of the 49-node
+  // King's graph exists (all edges satisfiable), and 3 colors do not suffice.
+  const auto g = graph::kings_graph_square(7);
+  const auto coloring4 = solve_exact_coloring(g, 4);
+  ASSERT_TRUE(coloring4.has_value());
+  EXPECT_TRUE(graph::is_proper_coloring(g, *coloring4, 4));
+  EXPECT_FALSE(solve_exact_coloring(g, 3).has_value());
+}
+
+TEST(ExactColoring, MediumKingsGraphSolvesQuickly) {
+  const auto g = graph::kings_graph_square(20);  // the 400-node instance
+  const auto coloring = solve_exact_coloring(g, 4);
+  ASSERT_TRUE(coloring.has_value());
+  EXPECT_TRUE(graph::is_proper_coloring(g, *coloring, 4));
+}
+
+TEST(ExactColoring, SymmetryBreakingPreservesSatisfiability) {
+  const auto g = petersen();
+  const auto with = solve_exact_coloring(g, 3, {.symmetry_breaking = true});
+  const auto without = solve_exact_coloring(g, 3, {.symmetry_breaking = false});
+  EXPECT_TRUE(with.has_value());
+  EXPECT_TRUE(without.has_value());
+}
+
+TEST(ChromaticNumber, KnownValues) {
+  EXPECT_EQ(chromatic_number(graph::Graph(3)), 1u);
+  EXPECT_EQ(chromatic_number(graph::path_graph(5)), 2u);
+  EXPECT_EQ(chromatic_number(graph::cycle_graph(5)), 3u);
+  EXPECT_EQ(chromatic_number(graph::complete_graph(5)), 5u);
+  EXPECT_EQ(chromatic_number(graph::kings_graph_square(4)), 4u);
+  EXPECT_EQ(chromatic_number(petersen()), 3u);
+  EXPECT_EQ(chromatic_number(graph::wheel_graph(6)), 4u);  // odd outer cycle
+  EXPECT_EQ(chromatic_number(graph::wheel_graph(7)), 3u);  // even outer cycle
+}
+
+TEST(ChromaticNumber, RespectsMaxK) {
+  EXPECT_FALSE(chromatic_number(graph::complete_graph(6), 4).has_value());
+}
+
+TEST(ExactColoring, RandomPlanarInstancesAre4Colorable) {
+  // The paper frames the workload as planar 4-coloring; triangulated grids
+  // are planar, so the four-color theorem guarantees a solution.
+  msropm::util::Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = graph::triangulated_grid(5, 5, rng);
+    const auto coloring = solve_exact_coloring(g, 4);
+    ASSERT_TRUE(coloring.has_value()) << "trial " << trial;
+    EXPECT_TRUE(graph::is_proper_coloring(g, *coloring, 4));
+  }
+}
+
+}  // namespace

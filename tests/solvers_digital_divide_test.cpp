@@ -1,0 +1,81 @@
+// Tests for the digital divide-and-conquer baseline (CPM-style).
+#include "msropm/solvers/digital_divide.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "msropm/graph/builders.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace {
+
+using namespace msropm;
+using solvers::DigitalDivideOptions;
+using solvers::solve_digital_divide;
+
+TEST(DigitalDivide, SolvesKingsGraphWell) {
+  const auto g = graph::kings_graph_square(6);
+  DigitalDivideOptions opts;
+  util::Rng rng(1);
+  const auto result = solve_digital_divide(g, opts, rng);
+  EXPECT_GE(graph::coloring_accuracy(g, result.colors), 0.95);
+  EXPECT_EQ(result.colors.size(), 36u);
+}
+
+TEST(DigitalDivide, StageCountMatchesColors) {
+  const auto g = graph::kings_graph(4, 4);
+  util::Rng rng(2);
+  DigitalDivideOptions opts4;
+  opts4.num_colors = 4;
+  EXPECT_EQ(solve_digital_divide(g, opts4, rng).stages, 2u);
+  DigitalDivideOptions opts8;
+  opts8.num_colors = 8;
+  EXPECT_EQ(solve_digital_divide(g, opts8, rng).stages, 3u);
+}
+
+TEST(DigitalDivide, RemapCountsSubProblems) {
+  // 2-stage flow: 1 full-graph solve + 2 partition solves = 3 remaps.
+  const auto g = graph::kings_graph(4, 4);
+  DigitalDivideOptions opts;
+  util::Rng rng(3);
+  const auto result = solve_digital_divide(g, opts, rng);
+  EXPECT_EQ(result.remap_operations, 3u);
+}
+
+TEST(DigitalDivide, TransfersGrowWithProblemSize) {
+  // The von-Neumann overhead the MSROPM's compute-in-memory avoids.
+  util::Rng rng(4);
+  DigitalDivideOptions opts;
+  const auto small = solve_digital_divide(graph::kings_graph_square(5), opts, rng);
+  const auto large = solve_digital_divide(graph::kings_graph_square(15), opts, rng);
+  EXPECT_GT(small.bytes_transferred, 0u);
+  EXPECT_GT(large.bytes_transferred, small.bytes_transferred * 5);
+}
+
+TEST(DigitalDivide, ColorsWithinPalette) {
+  const auto g = graph::kings_graph(5, 5);
+  DigitalDivideOptions opts;
+  opts.num_colors = 4;
+  util::Rng rng(5);
+  const auto result = solve_digital_divide(g, opts, rng);
+  for (auto c : result.colors) EXPECT_LT(c, 4);
+}
+
+TEST(DigitalDivide, RejectsNonPowerOfTwo) {
+  const auto g = graph::path_graph(3);
+  DigitalDivideOptions bad;
+  bad.num_colors = 6;
+  util::Rng rng(6);
+  EXPECT_THROW(solve_digital_divide(g, bad, rng), std::invalid_argument);
+}
+
+TEST(DigitalDivide, BipartitePerfect) {
+  const auto g = graph::grid_graph(6, 6);
+  DigitalDivideOptions opts;
+  util::Rng rng(7);
+  const auto result = solve_digital_divide(g, opts, rng);
+  EXPECT_DOUBLE_EQ(graph::coloring_accuracy(g, result.colors), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Tests for DSATUR.
+#include "msropm/solvers/dsatur.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "msropm/graph/builders.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace {
+
+using namespace msropm;
+using solvers::solve_dsatur;
+using solvers::solve_dsatur_bounded;
+
+TEST(Dsatur, AlwaysProperUnbounded) {
+  msropm::util::Rng rng(3);
+  const auto graphs = {graph::kings_graph_square(6), graph::cycle_graph(7),
+                       graph::complete_graph(5),
+                       graph::erdos_renyi(40, 0.3, rng)};
+  for (const auto& g : graphs) {
+    const auto result = solve_dsatur(g);
+    EXPECT_TRUE(graph::is_proper_coloring(g, result.colors, result.colors_used));
+  }
+}
+
+TEST(Dsatur, BipartiteUsesTwoColors) {
+  const auto g = graph::complete_bipartite_graph(4, 6);
+  const auto result = solve_dsatur(g);
+  EXPECT_EQ(result.colors_used, 2u);
+}
+
+TEST(Dsatur, CompleteGraphUsesN) {
+  const auto result = solve_dsatur(graph::complete_graph(7));
+  EXPECT_EQ(result.colors_used, 7u);
+}
+
+TEST(Dsatur, EvenCycleTwoOddCycleThree) {
+  EXPECT_EQ(solve_dsatur(graph::cycle_graph(8)).colors_used, 2u);
+  EXPECT_EQ(solve_dsatur(graph::cycle_graph(9)).colors_used, 3u);
+}
+
+TEST(Dsatur, KingsGraphWithinFive) {
+  // DSATUR is not guaranteed optimal, but King's graphs color greedily well.
+  const auto result = solve_dsatur(graph::kings_graph_square(8));
+  EXPECT_LE(result.colors_used, 5u);
+  EXPECT_GE(result.colors_used, 4u);
+}
+
+TEST(Dsatur, EmptyAndSingleton) {
+  const auto empty = solve_dsatur(graph::Graph(0));
+  EXPECT_TRUE(empty.colors.empty());
+  const auto lone = solve_dsatur(graph::path_graph(1));
+  EXPECT_EQ(lone.colors_used, 1u);
+}
+
+TEST(DsaturBounded, RespectsPalette) {
+  const auto g = graph::complete_graph(8);
+  const auto result = solve_dsatur_bounded(g, 4);
+  EXPECT_EQ(result.colors_used, 4u);
+  for (auto c : result.colors) EXPECT_LT(c, 4);
+  // Quality: with 4 colors on K8 the best grouping is pairs: 4 conflicts.
+  EXPECT_LE(graph::count_conflicts(g, result.colors), 6u);
+}
+
+TEST(DsaturBounded, FeasiblePaletteStillProper) {
+  const auto g = graph::kings_graph_square(5);
+  const auto result = solve_dsatur_bounded(g, 4);
+  EXPECT_TRUE(graph::is_proper_coloring(g, result.colors, 4));
+}
+
+TEST(DsaturBounded, Validation) {
+  EXPECT_THROW(solve_dsatur_bounded(graph::path_graph(2), 0),
+               std::invalid_argument);
+}
+
+}  // namespace

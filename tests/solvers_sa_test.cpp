@@ -1,0 +1,108 @@
+// Tests for the simulated-annealing Potts solver.
+#include "msropm/solvers/sa_potts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "msropm/graph/builders.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace {
+
+using namespace msropm;
+using solvers::SaPottsOptions;
+using solvers::solve_sa_potts;
+using solvers::solve_sa_potts_from;
+
+TEST(SaPotts, SolvesSmallKingsGraphExactly) {
+  const auto g = graph::kings_graph_square(5);
+  SaPottsOptions opts;
+  opts.num_colors = 4;
+  util::Rng rng(1);
+  const auto result = solve_sa_potts(g, opts, rng);
+  EXPECT_EQ(result.conflicts, 0u);
+  EXPECT_TRUE(graph::is_proper_coloring(g, result.colors, 4));
+}
+
+TEST(SaPotts, SolvesBipartiteWithTwoColors) {
+  const auto g = graph::complete_bipartite_graph(5, 5);
+  SaPottsOptions opts;
+  opts.num_colors = 2;
+  util::Rng rng(2);
+  const auto result = solve_sa_potts(g, opts, rng);
+  EXPECT_EQ(result.conflicts, 0u);
+}
+
+TEST(SaPotts, ReportedConflictsMatchRecount) {
+  const auto g = graph::kings_graph(6, 6);
+  SaPottsOptions opts;
+  opts.sweeps = 10;  // deliberately under-annealed
+  util::Rng rng(3);
+  const auto result = solve_sa_potts(g, opts, rng);
+  EXPECT_EQ(result.conflicts, graph::count_conflicts(g, result.colors));
+}
+
+TEST(SaPotts, InfeasiblePaletteLeavesConflicts) {
+  const auto g = graph::complete_graph(6);  // needs 6 colors
+  SaPottsOptions opts;
+  opts.num_colors = 4;
+  util::Rng rng(4);
+  const auto result = solve_sa_potts(g, opts, rng);
+  EXPECT_GE(result.conflicts, 1u);
+}
+
+TEST(SaPotts, MoveCountersPopulated) {
+  const auto g = graph::kings_graph(4, 4);
+  SaPottsOptions opts;
+  opts.sweeps = 20;
+  util::Rng rng(5);
+  const auto result = solve_sa_potts(g, opts, rng);
+  EXPECT_EQ(result.proposed_moves, 20u * g.num_nodes());
+  EXPECT_GT(result.accepted_moves, 0u);
+  EXPECT_LE(result.accepted_moves, result.proposed_moves);
+}
+
+TEST(SaPotts, FromInitialRespectsStart) {
+  const auto g = graph::kings_graph_square(4);
+  const auto proper = graph::kings_graph_pattern_coloring(4, 4);
+  SaPottsOptions opts;
+  opts.t_start = 0.05;  // cold: the proper start should survive
+  opts.t_end = 0.02;
+  opts.sweeps = 5;
+  util::Rng rng(6);
+  const auto result = solve_sa_potts_from(g, proper, opts, rng);
+  EXPECT_EQ(result.conflicts, 0u);
+}
+
+TEST(SaPotts, Validation) {
+  const auto g = graph::path_graph(3);
+  util::Rng rng(7);
+  SaPottsOptions bad;
+  bad.num_colors = 1;
+  EXPECT_THROW(solve_sa_potts(g, bad, rng), std::invalid_argument);
+  bad = SaPottsOptions{};
+  bad.t_end = 5.0;  // > t_start
+  EXPECT_THROW(solve_sa_potts(g, bad, rng), std::invalid_argument);
+  EXPECT_THROW(solve_sa_potts_from(g, {0, 1}, SaPottsOptions{}, rng),
+               std::invalid_argument);
+}
+
+TEST(SaPotts, EmptyGraph) {
+  const graph::Graph g(0);
+  util::Rng rng(8);
+  const auto result = solve_sa_potts(g, SaPottsOptions{}, rng);
+  EXPECT_TRUE(result.colors.empty());
+  EXPECT_EQ(result.conflicts, 0u);
+}
+
+TEST(SaPotts, DeterministicForSeed) {
+  const auto g = graph::kings_graph(5, 5);
+  SaPottsOptions opts;
+  util::Rng rng1(99);
+  util::Rng rng2(99);
+  EXPECT_EQ(solve_sa_potts(g, opts, rng1).colors,
+            solve_sa_potts(g, opts, rng2).colors);
+}
+
+}  // namespace

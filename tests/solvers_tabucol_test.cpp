@@ -1,0 +1,96 @@
+// Tests for Tabucol.
+#include "msropm/solvers/tabucol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "msropm/graph/builders.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace {
+
+using namespace msropm;
+using solvers::solve_tabucol;
+using solvers::TabucolOptions;
+
+TEST(Tabucol, SolvesKingsGraph4Coloring) {
+  const auto g = graph::kings_graph_square(6);
+  TabucolOptions opts;
+  opts.num_colors = 4;
+  util::Rng rng(1);
+  const auto result = solve_tabucol(g, opts, rng);
+  EXPECT_EQ(result.conflicts, 0u);
+  EXPECT_TRUE(graph::is_proper_coloring(g, result.colors, 4));
+}
+
+TEST(Tabucol, SolvesOddCycleWith3Colors) {
+  const auto g = graph::cycle_graph(9);
+  TabucolOptions opts;
+  opts.num_colors = 3;
+  util::Rng rng(2);
+  const auto result = solve_tabucol(g, opts, rng);
+  EXPECT_EQ(result.conflicts, 0u);
+}
+
+TEST(Tabucol, InfeasiblePaletteKeepsBestEffort) {
+  const auto g = graph::complete_graph(6);
+  TabucolOptions opts;
+  opts.num_colors = 3;
+  opts.max_iterations = 2000;
+  util::Rng rng(3);
+  const auto result = solve_tabucol(g, opts, rng);
+  // K6 with 3 colors: best possible leaves 3 conflicts (3 pairs).
+  EXPECT_GE(result.conflicts, 3u);
+  EXPECT_EQ(result.conflicts, graph::count_conflicts(g, result.colors));
+}
+
+TEST(Tabucol, StopsEarlyWhenProper) {
+  const auto g = graph::path_graph(10);
+  TabucolOptions opts;
+  opts.num_colors = 2;
+  opts.max_iterations = 100000;
+  util::Rng rng(4);
+  const auto result = solve_tabucol(g, opts, rng);
+  EXPECT_EQ(result.conflicts, 0u);
+  EXPECT_LT(result.iterations_used, 1000u);
+}
+
+TEST(Tabucol, ReportsIterationBudgetUse) {
+  const auto g = graph::complete_graph(8);
+  TabucolOptions opts;
+  opts.num_colors = 4;
+  opts.max_iterations = 50;
+  util::Rng rng(5);
+  const auto result = solve_tabucol(g, opts, rng);
+  EXPECT_LE(result.iterations_used, 50u);
+}
+
+TEST(Tabucol, Validation) {
+  const auto g = graph::path_graph(3);
+  util::Rng rng(6);
+  TabucolOptions bad;
+  bad.num_colors = 1;
+  EXPECT_THROW(solve_tabucol(g, bad, rng), std::invalid_argument);
+}
+
+TEST(Tabucol, EmptyGraph) {
+  const graph::Graph g(0);
+  util::Rng rng(7);
+  const auto result = solve_tabucol(g, TabucolOptions{}, rng);
+  EXPECT_TRUE(result.colors.empty());
+  EXPECT_EQ(result.conflicts, 0u);
+}
+
+TEST(Tabucol, LargePaperInstanceSolvable) {
+  // Software baseline on the 400-node paper instance.
+  const auto g = graph::kings_graph_square(20);
+  TabucolOptions opts;
+  opts.num_colors = 4;
+  opts.max_iterations = 60000;
+  util::Rng rng(8);
+  const auto result = solve_tabucol(g, opts, rng);
+  EXPECT_EQ(result.conflicts, 0u);
+}
+
+}  // namespace

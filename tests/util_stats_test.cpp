@@ -1,0 +1,163 @@
+// Tests for running statistics, sample sets and correlation.
+#include "msropm/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "msropm/util/rng.hpp"
+
+namespace {
+
+using msropm::util::pearson_correlation;
+using msropm::util::RunningStats;
+using msropm::util::SampleSet;
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesBessel) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  msropm::util::Rng rng(5);
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(10.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSet, PercentileInterpolates) {
+  SampleSet s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+}
+
+TEST(SampleSet, PercentileClampsOutOfRange) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-10), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(200), 2.0);
+}
+
+TEST(SampleSet, EmptyThrows) {
+  SampleSet s;
+  EXPECT_THROW((void)s.percentile(50), std::domain_error);
+  EXPECT_THROW((void)s.min(), std::domain_error);
+  EXPECT_THROW((void)s.max(), std::domain_error);
+  EXPECT_THROW((void)s.mean(), std::domain_error);
+  EXPECT_THROW((void)s.stddev(), std::domain_error);
+}
+
+TEST(SampleSet, MinMaxMean) {
+  SampleSet s;
+  for (double x : {5.0, -1.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.mean(), 7.0 / 3.0, 1e-12);
+}
+
+TEST(Correlation, PerfectPositive) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson_correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(Correlation, ZeroVarianceGivesZero) {
+  std::vector<double> x{1, 1, 1};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_EQ(pearson_correlation(x, y), 0.0);
+}
+
+TEST(Correlation, MismatchedSizesGiveZero) {
+  std::vector<double> x{1, 2};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_EQ(pearson_correlation(x, y), 0.0);
+  EXPECT_EQ(pearson_correlation({}, {}), 0.0);
+}
+
+TEST(Correlation, IndependentSeriesNearZero) {
+  msropm::util::Rng rng(77);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearson_correlation(x, y), 0.0, 0.03);
+}
+
+}  // namespace
