@@ -5,6 +5,12 @@
 //
 // Usage:
 //   dimacs_solver <graph.col> [colors=4] [iterations=40] [seed=1] [--sat]
+//                 [--preprocess] [--no-preprocess]
+//
+// --sat runs the exact CDCL baseline; by default it presimplifies the CNF
+// through msropm::sat::Preprocessor and prints the preprocessing and search
+// statistics as a table (copy-pasteable into bench notes). --no-preprocess
+// solves the raw encoding instead.
 //
 // Exit code 0 when the best coloring is proper, 1 otherwise.
 
@@ -20,6 +26,44 @@
 #include "msropm/graph/io.hpp"
 #include "msropm/sat/coloring_encoder.hpp"
 #include "msropm/solvers/dsatur.hpp"
+#include "msropm/util/table.hpp"
+
+namespace {
+
+void print_sat_stats(const msropm::sat::ExactColoringOutcome& outcome) {
+  using msropm::util::TextTable;
+  if (const auto& pre = outcome.preprocess_stats) {
+    TextTable table({"preprocess", "vars", "clauses", "literals"});
+    table.add_row({"original", std::to_string(pre->original_vars),
+                   std::to_string(pre->original_clauses),
+                   std::to_string(pre->original_literals)});
+    table.add_row({"simplified", std::to_string(pre->simplified_vars),
+                   std::to_string(pre->simplified_clauses),
+                   std::to_string(pre->simplified_literals)});
+    std::printf("%s", table.render().c_str());
+    TextTable detail({"technique", "removed"});
+    detail.add_row({"unit_fixed", std::to_string(pre->unit_fixed)});
+    detail.add_row({"pure_fixed", std::to_string(pre->pure_fixed)});
+    detail.add_row({"tautologies", std::to_string(pre->tautologies)});
+    detail.add_row({"duplicates", std::to_string(pre->duplicate_clauses)});
+    detail.add_row({"subsumed", std::to_string(pre->subsumed)});
+    detail.add_row({"strengthened", std::to_string(pre->strengthened)});
+    detail.add_row({"blocked", std::to_string(pre->blocked)});
+    detail.add_row({"bve_eliminated", std::to_string(pre->eliminated_vars)});
+    std::printf("%s", detail.render().c_str());
+    std::printf("preprocess: %.1f%% of clauses removed in %zu rounds, %.4f s\n",
+                100.0 * pre->clause_reduction(), pre->rounds, pre->seconds);
+  }
+  const auto& s = outcome.solver_stats;
+  TextTable search({"search", "decisions", "propagations", "conflicts",
+                    "restarts", "learnts"});
+  search.add_row({"cdcl", std::to_string(s.decisions),
+                  std::to_string(s.propagations), std::to_string(s.conflicts),
+                  std::to_string(s.restarts), std::to_string(s.learnt_clauses)});
+  std::printf("%s", search.render().c_str());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace msropm;
@@ -27,7 +71,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <graph.col> [colors=4] [iterations=40] [seed=1] "
-                 "[--sat]\n",
+                 "[--sat] [--preprocess] [--no-preprocess]\n",
                  argv[0]);
     return 2;
   }
@@ -36,15 +80,30 @@ int main(int argc, char** argv) {
   std::size_t iterations = 40;
   std::uint64_t seed = 1;
   bool run_sat = false;
+  bool preprocess = true;
+  int positional = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sat") == 0) {
       run_sat = true;
-    } else if (i == 2) {
+    } else if (std::strcmp(argv[i], "--preprocess") == 0) {
+      preprocess = true;
+    } else if (std::strcmp(argv[i], "--no-preprocess") == 0) {
+      preprocess = false;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "unrecognized flag: %s\n", argv[i]);
+      return 2;
+    } else if (positional == 0) {
       colors = static_cast<unsigned>(std::atoi(argv[i]));
-    } else if (i == 3) {
+      ++positional;
+    } else if (positional == 1) {
       iterations = static_cast<std::size_t>(std::atoll(argv[i]));
-    } else if (i == 4) {
+      ++positional;
+    } else if (positional == 2) {
       seed = static_cast<std::uint64_t>(std::atoll(argv[i]));
+      ++positional;
+    } else {
+      std::fprintf(stderr, "unrecognized argument: %s\n", argv[i]);
+      return 2;
     }
   }
 
@@ -84,9 +143,15 @@ int main(int argc, char** argv) {
   std::printf("DSATUR greedy: %u colors (proper)\n", greedy.colors_used);
 
   if (run_sat) {
-    const auto exact = sat::solve_exact_coloring(g, colors);
-    std::printf("SAT: %u-coloring %s\n", colors,
-                exact ? "exists" : "does NOT exist");
+    sat::SolverOptions solver_options = sat::exact_coloring_solver_options();
+    solver_options.presimplify = preprocess;
+    const auto outcome =
+        sat::solve_exact_coloring_detailed(g, colors, {}, solver_options);
+    std::printf("SAT (%s): %u-coloring %s\n",
+                preprocess ? "preprocessed" : "raw encoding", colors,
+                outcome.result == sat::SolveResult::kSat ? "exists"
+                                                         : "does NOT exist");
+    print_sat_stats(outcome);
   }
   return graph::count_conflicts(g, best) == 0 ? 0 : 1;
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build + full ctest run.
+# Exits nonzero on the first failure.
+#
+# Usage:
+#   scripts/check.sh                # Release build into build/
+#   MSROPM_SANITIZE=ON scripts/check.sh   # ASan/UBSan build into build-asan/
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE="${MSROPM_SANITIZE:-OFF}"
+BUILD_DIR="build"
+if [ "${SANITIZE}" = "ON" ]; then
+  BUILD_DIR="build-asan"
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${BUILD_DIR}" -S . -DMSROPM_SANITIZE="${SANITIZE}"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

@@ -73,13 +73,42 @@ ColoringEncoding encode_coloring(const graph::Graph& g, unsigned num_colors,
   return enc;
 }
 
+SolverOptions exact_coloring_solver_options() {
+  SolverOptions options;
+  options.presimplify = true;
+  // Profile tuned for direct coloring encodings: unit propagation absorbs the
+  // symmetry-breaking clique, and BCE strips the at-most-one ladders (>25% of
+  // the clauses). Subsumption and BVE find almost nothing on these instances
+  // but cost several formula passes, so they stay off in this profile.
+  options.preprocess.subsumption = false;
+  options.preprocess.self_subsumption = false;
+  options.preprocess.variable_elimination = false;
+  options.preprocess.max_rounds = 2;
+  return options;
+}
+
 std::optional<graph::Coloring> solve_exact_coloring(
+    const graph::Graph& g, unsigned num_colors,
+    ColoringEncodeOptions encode_options, SolverOptions solver_options) {
+  auto outcome = solve_exact_coloring_detailed(g, num_colors, encode_options,
+                                               solver_options);
+  return std::move(outcome.coloring);
+}
+
+ExactColoringOutcome solve_exact_coloring_detailed(
     const graph::Graph& g, unsigned num_colors,
     ColoringEncodeOptions encode_options, SolverOptions solver_options) {
   const ColoringEncoding enc = encode_coloring(g, num_colors, encode_options);
   Solver solver(enc.cnf, solver_options);
-  if (solver.solve() != SolveResult::kSat) return std::nullopt;
-  return enc.decode(solver.model());
+  ExactColoringOutcome outcome;
+  outcome.result = solver.solve();
+  outcome.solver_stats = solver.stats();
+  outcome.preprocess_stats = solver.preprocess_stats();
+  if (outcome.result == SolveResult::kSat) {
+    // model() is already reconstructed into the original encoding space.
+    outcome.coloring = enc.decode(solver.model());
+  }
+  return outcome;
 }
 
 std::optional<unsigned> chromatic_number(const graph::Graph& g, unsigned max_k) {

@@ -45,11 +45,31 @@ struct ColoringEncodeOptions {
                                                unsigned num_colors,
                                                ColoringEncodeOptions options = {});
 
+/// Default solver configuration for the exact baseline: clause-database
+/// preprocessing on (the direct encoding's at-most-one ladders are blocked
+/// clauses, so presimplify strips >20% of the clauses before search).
+[[nodiscard]] SolverOptions exact_coloring_solver_options();
+
 /// Solve for an exact proper K-coloring. nullopt when the graph is not
 /// K-colorable (or the conflict limit was hit).
 [[nodiscard]] std::optional<graph::Coloring> solve_exact_coloring(
     const graph::Graph& g, unsigned num_colors,
-    ColoringEncodeOptions encode_options = {}, SolverOptions solver_options = {});
+    ColoringEncodeOptions encode_options = {},
+    SolverOptions solver_options = exact_coloring_solver_options());
+
+/// Full outcome of an exact-coloring query, including the preprocessing and
+/// search statistics (for benches and the dimacs_solver CLI).
+struct ExactColoringOutcome {
+  SolveResult result = SolveResult::kUnknown;
+  std::optional<graph::Coloring> coloring;  ///< set when result == kSat
+  SolverStats solver_stats;
+  std::optional<PreprocessStats> preprocess_stats;  ///< set when presimplify ran
+};
+
+[[nodiscard]] ExactColoringOutcome solve_exact_coloring_detailed(
+    const graph::Graph& g, unsigned num_colors,
+    ColoringEncodeOptions encode_options = {},
+    SolverOptions solver_options = exact_coloring_solver_options());
 
 /// Chromatic number by iterating K = 1..max_k (small graphs / tests).
 [[nodiscard]] std::optional<unsigned> chromatic_number(const graph::Graph& g,

@@ -1,0 +1,187 @@
+#pragma once
+// CNF preprocessing (pre-search simplification) for the CDCL solver.
+//
+// The preprocessor rewrites a Cnf into an equisatisfiable, smaller Cnf before
+// search: unit propagation to fixpoint, pure-literal elimination, tautology
+// and duplicate-clause removal, subsumption and self-subsuming resolution
+// (occurrence lists + 64-bit clause signatures), blocked-clause elimination
+// (which strips the at-most-one ladders of direct coloring encodings), and
+// bounded variable elimination with clause- and literal-growth caps.
+//
+// Every clause or variable removal that is *not* model-preserving pushes an
+// entry onto the Remapper's reconstruction stack (MiniSat/cryptominisat
+// elimination-stack style). Replaying the stack in reverse turns any model of
+// the simplified formula into a model of the original formula, so callers
+// always see models in the original variable space.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "msropm/sat/cnf.hpp"
+
+namespace msropm::sat {
+
+struct PreprocessOptions {
+  bool unit_propagation = true;
+  bool pure_literals = true;
+  bool subsumption = true;
+  bool self_subsumption = true;
+  bool blocked_clauses = true;
+  bool variable_elimination = true;
+  /// BVE may add at most this many clauses beyond what it removes.
+  std::size_t bve_clause_growth = 0;
+  /// Skip BVE for variables with more total occurrences than this.
+  std::size_t bve_max_occurrences = 24;
+  /// Skip subsumption/BCE pivots whose occurrence list exceeds this length.
+  std::size_t occurrence_scan_limit = 4096;
+  /// Maximum simplification rounds (each round runs every enabled technique).
+  std::size_t max_rounds = 12;
+};
+
+struct PreprocessStats {
+  std::size_t original_vars = 0;
+  std::size_t original_clauses = 0;
+  std::size_t original_literals = 0;
+  std::size_t simplified_vars = 0;
+  std::size_t simplified_clauses = 0;
+  std::size_t simplified_literals = 0;
+  std::size_t unit_fixed = 0;         ///< vars fixed by unit propagation
+  std::size_t pure_fixed = 0;         ///< vars fixed by pure-literal elimination
+  std::size_t tautologies = 0;        ///< tautological clauses dropped at load
+  std::size_t duplicate_clauses = 0;  ///< exact duplicate clauses dropped
+  std::size_t subsumed = 0;           ///< clauses removed by subsumption
+  std::size_t strengthened = 0;       ///< literals removed by self-subsumption
+  std::size_t blocked = 0;            ///< clauses removed as blocked
+  std::size_t eliminated_vars = 0;    ///< vars removed by BVE
+  std::size_t rounds = 0;
+  double seconds = 0.0;
+
+  /// Fraction of original clauses removed (0 when the input was empty).
+  [[nodiscard]] double clause_reduction() const noexcept {
+    if (original_clauses == 0) return 0.0;
+    return 1.0 - static_cast<double>(simplified_clauses) /
+                     static_cast<double>(original_clauses);
+  }
+};
+
+/// Maps models of the simplified formula back to the original variable space.
+///
+/// Holds (a) the dense original-var -> simplified-var index map and (b) the
+/// chronological stack of eliminations. reconstruct() replays the stack in
+/// reverse, so each entry's clauses only mention variables whose final value
+/// is already known when the entry is processed.
+class Remapper {
+ public:
+  static constexpr std::uint32_t kUnmapped = ~std::uint32_t{0};
+
+  struct Entry {
+    enum class Kind : std::uint8_t {
+      kUnit,        ///< lit was a top-level unit: set it true
+      kPure,        ///< lit was pure: set it true
+      kBlocked,     ///< clauses[0] was blocked on lit: set lit true if unsat
+      kEliminated,  ///< var(lit) was BVE-eliminated; clauses hold the lit side
+    };
+    Kind kind = Kind::kUnit;
+    Lit lit;
+    std::vector<Clause> clauses;
+  };
+
+  Remapper() = default;
+  explicit Remapper(std::size_t original_vars) : original_vars_(original_vars) {}
+
+  [[nodiscard]] std::size_t original_num_vars() const noexcept {
+    return original_vars_;
+  }
+  [[nodiscard]] std::size_t simplified_num_vars() const noexcept {
+    return simplified_vars_;
+  }
+
+  /// Simplified index of an original variable; nullopt when the variable was
+  /// fixed, eliminated, or unconstrained.
+  [[nodiscard]] std::optional<Var> map(Var original) const;
+
+  /// Extend a model of the simplified formula to a model of the original
+  /// formula. Unconstrained variables default to false.
+  [[nodiscard]] std::vector<std::uint8_t> reconstruct(
+      const std::vector<std::uint8_t>& simplified_model) const;
+
+  // Builder API (used by Preprocessor).
+  void push(Entry entry) { stack_.push_back(std::move(entry)); }
+  void set_map(std::vector<std::uint32_t> map, std::size_t simplified_vars) {
+    map_ = std::move(map);
+    simplified_vars_ = simplified_vars;
+  }
+  [[nodiscard]] std::size_t stack_size() const noexcept { return stack_.size(); }
+
+ private:
+  std::size_t original_vars_ = 0;
+  std::size_t simplified_vars_ = 0;
+  std::vector<std::uint32_t> map_;  // original var -> simplified var / kUnmapped
+  std::vector<Entry> stack_;        // chronological; replayed in reverse
+};
+
+struct PreprocessResult {
+  Cnf cnf;            ///< simplified formula over compacted variables
+  Remapper remapper;  ///< model reconstruction back to the original space
+  PreprocessStats stats;
+  bool unsat = false;  ///< preprocessing alone proved UNSAT
+};
+
+/// Occurrence-list CNF simplifier. Single-use: construct, run() once.
+class Preprocessor {
+ public:
+  explicit Preprocessor(const Cnf& cnf, PreprocessOptions options = {});
+
+  [[nodiscard]] PreprocessResult run();
+
+ private:
+  struct PClause {
+    Clause lits;            // sorted by literal index, no duplicates
+    std::uint64_t sig = 0;  // OR of 1 << (lit.index() % 64)
+    bool deleted = false;
+  };
+
+  enum class Fixed : std::uint8_t { kUndef, kTrue, kFalse };
+
+  void load(const Cnf& cnf);
+  std::uint32_t add_clause_internal(Clause lits);
+  void remove_clause(std::uint32_t ci);
+  void strengthen_clause(std::uint32_t ci, Lit l);
+  void enqueue_unit(Lit l);
+  bool propagate_units();
+  bool eliminate_pure_literals();
+  bool subsumption_pass();
+  bool blocked_clause_pass();
+  bool variable_elimination_pass();
+  bool try_eliminate_var(Var v);
+  [[nodiscard]] bool resolvent(const PClause& a, const PClause& b, Lit pivot,
+                               Clause& out) const;
+  void compact(PreprocessResult& result);
+
+  [[nodiscard]] static std::uint64_t signature(const Clause& lits) noexcept;
+  [[nodiscard]] std::size_t live_occurrences(Lit l) const noexcept {
+    return occ_count_[l.index()];
+  }
+
+  PreprocessOptions options_;
+  std::size_t num_vars_ = 0;
+  std::vector<PClause> clauses_;
+  std::vector<std::vector<std::uint32_t>> occ_;  // per literal, lazily cleaned
+  std::vector<std::uint32_t> occ_count_;         // exact live count per literal
+  std::vector<std::uint8_t> removed_;            // var left the formula
+  std::vector<Fixed> fixed_;                     // value for unit/pure vars
+  std::vector<Lit> unit_queue_;
+  std::size_t live_clauses_ = 0;
+  bool unsat_ = false;
+  bool ran_ = false;
+  Remapper remapper_;
+  PreprocessStats stats_;
+};
+
+/// Convenience wrapper: preprocess a formula with the given options.
+[[nodiscard]] PreprocessResult preprocess(const Cnf& cnf,
+                                          PreprocessOptions options = {});
+
+}  // namespace msropm::sat

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "msropm/sat/cnf.hpp"
+#include "msropm/sat/preprocess.hpp"
 
 namespace msropm::sat {
 
@@ -38,26 +39,47 @@ struct SolverOptions {
   std::size_t learnt_cap = 4096;
   /// Default polarity for first-time decisions (false mirrors MiniSat).
   bool default_polarity = false;
+  /// Run the clause-database preprocessor (preprocess.hpp) before search.
+  /// model() stays in the original variable space: the solver reconstructs
+  /// it through the Remapper. Incompatible with assumptions.
+  bool presimplify = false;
+  /// Technique selection and caps for presimplify.
+  PreprocessOptions preprocess = {};
 };
 
+/// Single-shot CDCL solver: construct, call solve() exactly once, read
+/// model()/stats(). A second solve() call throws std::logic_error — the
+/// internal state (trail, learnt database, ok_ flag) is not reset between
+/// calls, so re-solving would silently return stale results, and after an
+/// assumption conflict the solver would wrongly report the formula itself
+/// UNSAT. Construct a fresh Solver per query.
 class Solver {
  public:
   explicit Solver(const Cnf& cnf, SolverOptions options = {});
 
   /// Run the search. kSat fills model(); kUnknown only when conflict_limit
-  /// was hit.
+  /// was hit. Throws std::logic_error when called a second time.
   [[nodiscard]] SolveResult solve();
 
-  /// Solve under assumptions (asserted as decision-level-0 units for this
-  /// call; the solver cannot be reused after an assumption conflict).
+  /// Solve under assumptions (asserted as decision-level-0 units). Same
+  /// single-shot contract as solve(). Throws std::logic_error when
+  /// options.presimplify is set: assumed literals may have been fixed or
+  /// eliminated by preprocessing.
   [[nodiscard]] SolveResult solve(const std::vector<Lit>& assumptions);
 
-  /// Model indexed by var (0/1). Valid only after kSat.
+  /// Model indexed by var (0/1), always in the ORIGINAL variable space even
+  /// when presimplify rewrote the formula. Valid only after kSat.
   [[nodiscard]] const std::vector<std::uint8_t>& model() const noexcept {
     return model_;
   }
 
   [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
+
+  /// Preprocessing breakdown; engaged only when options.presimplify was set.
+  [[nodiscard]] const std::optional<PreprocessStats>& preprocess_stats()
+      const noexcept {
+    return preprocess_stats_;
+  }
 
  private:
   enum class LBool : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
@@ -69,6 +91,13 @@ class Solver {
     bool learnt = false;
     bool deleted = false;
   };
+
+  void setup_arrays(std::size_t num_vars);
+  /// Add one problem clause. `normalized` clauses (preprocessor output) are
+  /// trusted to be sorted, duplicate-free, and non-tautological.
+  void ingest_clause(Clause&& lits, bool normalized);
+  void init_from(const Cnf& cnf);
+  void init_from_normalized(std::size_t num_vars, std::vector<Clause>&& clauses);
 
   [[nodiscard]] LBool value(Lit l) const noexcept {
     const LBool v = assigns_[l.var()];
@@ -106,10 +135,13 @@ class Solver {
   double clause_inc_ = 1.0;
   std::vector<std::uint8_t> seen_;
   std::vector<std::uint32_t> learnt_indices_;
-  bool ok_ = true;  // false once a top-level conflict is derived
+  bool ok_ = true;          // false once a top-level conflict is derived
+  bool solve_started_ = false;  // enforces the single-shot contract
   SolverOptions options_;
   SolverStats stats_;
   std::vector<std::uint8_t> model_;
+  std::optional<Remapper> remapper_;  // set when presimplify ran
+  std::optional<PreprocessStats> preprocess_stats_;
 };
 
 /// Convenience wrapper: solve a CNF and return the model if SAT.

@@ -1,0 +1,516 @@
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "msropm/sat/preprocess.hpp"
+
+namespace msropm::sat {
+
+namespace {
+
+constexpr std::uint32_t kNoClause = ~std::uint32_t{0};
+
+/// Compact an occurrence list in place, dropping deleted clauses.
+template <typename Pred>
+void filter_list(std::vector<std::uint32_t>& list, Pred live) {
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [&](std::uint32_t ci) { return !live(ci); }),
+             list.end());
+}
+
+}  // namespace
+
+Preprocessor::Preprocessor(const Cnf& cnf, PreprocessOptions options)
+    : options_(options), num_vars_(cnf.num_vars()) {
+  occ_.resize(2 * num_vars_);
+  occ_count_.assign(2 * num_vars_, 0);
+  removed_.assign(num_vars_, 0);
+  fixed_.assign(num_vars_, Fixed::kUndef);
+  remapper_ = Remapper(num_vars_);
+  stats_.original_vars = num_vars_;
+  stats_.original_clauses = cnf.num_clauses();
+  for (const Clause& c : cnf.clauses()) stats_.original_literals += c.size();
+  load(cnf);
+}
+
+std::uint64_t Preprocessor::signature(const Clause& lits) noexcept {
+  std::uint64_t sig = 0;
+  for (Lit l : lits) sig |= std::uint64_t{1} << (l.index() % 64);
+  return sig;
+}
+
+void Preprocessor::load(const Cnf& cnf) {
+  // Exact duplicate detection via a flat open-addressing table keyed on an
+  // FNV-1a hash of the literal sequence: one allocation for the whole load
+  // instead of a node or bucket per clause.
+  std::size_t table_bits = 4;
+  while ((std::size_t{1} << table_bits) < 2 * (cnf.num_clauses() + 1)) {
+    ++table_bits;
+  }
+  const std::size_t table_mask = (std::size_t{1} << table_bits) - 1;
+  std::vector<std::uint32_t> table(table_mask + 1, kNoClause);
+  clauses_.reserve(cnf.num_clauses());
+  // Pre-size the occurrence lists so the 2V vectors grow once, not log-times.
+  for (const Clause& raw : cnf.clauses()) {
+    for (Lit l : raw) ++occ_count_[l.index()];
+  }
+  for (std::size_t i = 0; i < occ_.size(); ++i) occ_[i].reserve(occ_count_[i]);
+  occ_count_.assign(occ_count_.size(), 0);
+  for (const Clause& raw : cnf.clauses()) {
+    Clause lits = raw;
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    bool tautology = false;
+    for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+      if (lits[i].var() == lits[i + 1].var()) {
+        tautology = true;
+        break;
+      }
+    }
+    if (tautology) {
+      ++stats_.tautologies;
+      continue;
+    }
+    if (lits.empty()) {
+      unsat_ = true;
+      return;
+    }
+    std::uint64_t hash = 1469598103934665603ull;
+    for (Lit l : lits) {
+      hash ^= l.index();
+      hash *= 1099511628211ull;
+    }
+    std::size_t slot = static_cast<std::size_t>(hash) & table_mask;
+    bool duplicate = false;
+    while (table[slot] != kNoClause) {
+      if (clauses_[table[slot]].lits == lits) {
+        duplicate = true;
+        break;
+      }
+      slot = (slot + 1) & table_mask;
+    }
+    if (duplicate) {
+      ++stats_.duplicate_clauses;
+      continue;
+    }
+    if (lits.size() == 1) enqueue_unit(lits[0]);
+    table[slot] = add_clause_internal(std::move(lits));
+  }
+}
+
+std::uint32_t Preprocessor::add_clause_internal(Clause lits) {
+  const auto ci = static_cast<std::uint32_t>(clauses_.size());
+  PClause pc;
+  pc.sig = signature(lits);
+  pc.lits = std::move(lits);
+  for (Lit l : pc.lits) {
+    occ_[l.index()].push_back(ci);
+    ++occ_count_[l.index()];
+  }
+  clauses_.push_back(std::move(pc));
+  ++live_clauses_;
+  return ci;
+}
+
+void Preprocessor::remove_clause(std::uint32_t ci) {
+  PClause& c = clauses_[ci];
+  if (c.deleted) return;
+  c.deleted = true;
+  for (Lit l : c.lits) --occ_count_[l.index()];
+  --live_clauses_;
+}
+
+void Preprocessor::strengthen_clause(std::uint32_t ci, Lit l) {
+  PClause& c = clauses_[ci];
+  auto it = std::find(c.lits.begin(), c.lits.end(), l);
+  if (it == c.lits.end()) return;
+  c.lits.erase(it);
+  --occ_count_[l.index()];
+  // Keep the occurrence vector exact: BVE and BCE read membership from it,
+  // so a stale entry would let them resolve or block on an absent literal.
+  auto& list = occ_[l.index()];
+  const auto pos_it = std::find(list.begin(), list.end(), ci);
+  if (pos_it != list.end()) list.erase(pos_it);
+  c.sig = signature(c.lits);
+  if (c.lits.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (c.lits.size() == 1) enqueue_unit(c.lits[0]);
+}
+
+void Preprocessor::enqueue_unit(Lit l) { unit_queue_.push_back(l); }
+
+bool Preprocessor::propagate_units() {
+  bool changed = false;
+  while (!unit_queue_.empty() && !unsat_) {
+    const Lit l = unit_queue_.back();
+    unit_queue_.pop_back();
+    const Var v = l.var();
+    if (fixed_[v] != Fixed::kUndef) {
+      const bool want_true = !l.negated();
+      if ((fixed_[v] == Fixed::kTrue) != want_true) unsat_ = true;
+      continue;
+    }
+    if (removed_[v]) continue;  // eliminated vars cannot re-enter the formula
+    fixed_[v] = l.negated() ? Fixed::kFalse : Fixed::kTrue;
+    removed_[v] = 1;
+    remapper_.push({Remapper::Entry::Kind::kUnit, l, {}});
+    ++stats_.unit_fixed;
+    changed = true;
+    // Clauses containing l are satisfied; clauses containing ~l shrink.
+    // Detach both lists first: strengthen_clause edits occ_[(~l).index()].
+    const std::vector<std::uint32_t> sat_list = std::move(occ_[l.index()]);
+    const std::vector<std::uint32_t> str_list = std::move(occ_[(~l).index()]);
+    occ_[l.index()].clear();
+    occ_[(~l).index()].clear();
+    for (std::uint32_t ci : sat_list) {
+      if (!clauses_[ci].deleted) remove_clause(ci);
+    }
+    for (std::uint32_t ci : str_list) {
+      if (!clauses_[ci].deleted) strengthen_clause(ci, ~l);
+      if (unsat_) break;
+    }
+  }
+  return changed;
+}
+
+bool Preprocessor::eliminate_pure_literals() {
+  bool changed = false;
+  bool again = true;
+  while (again && !unsat_) {
+    again = false;
+    for (Var v = 0; v < num_vars_; ++v) {
+      if (removed_[v]) continue;
+      const Lit p = pos(v);
+      const Lit n = neg(v);
+      Lit pure;
+      if (occ_count_[p.index()] > 0 && occ_count_[n.index()] == 0) {
+        pure = p;
+      } else if (occ_count_[n.index()] > 0 && occ_count_[p.index()] == 0) {
+        pure = n;
+      } else {
+        continue;
+      }
+      removed_[v] = 1;
+      fixed_[v] = pure.negated() ? Fixed::kFalse : Fixed::kTrue;
+      remapper_.push({Remapper::Entry::Kind::kPure, pure, {}});
+      ++stats_.pure_fixed;
+      for (std::uint32_t ci : occ_[pure.index()]) {
+        if (!clauses_[ci].deleted) remove_clause(ci);
+      }
+      occ_[pure.index()].clear();
+      occ_[(~pure).index()].clear();
+      changed = true;
+      again = true;  // removals may expose new pure literals
+    }
+  }
+  return changed;
+}
+
+bool Preprocessor::subsumption_pass() {
+  bool changed = false;
+  for (std::uint32_t ci = 0; ci < clauses_.size() && !unsat_; ++ci) {
+    if (clauses_[ci].deleted) continue;
+    // Forward subsumption: does ci subsume anything reachable through its
+    // least-occurring literal? (Every superset of ci contains that literal.)
+    if (options_.subsumption) {
+      const Clause& base = clauses_[ci].lits;
+      Lit pivot = base[0];
+      for (Lit l : base) {
+        if (occ_count_[l.index()] < occ_count_[pivot.index()]) pivot = l;
+      }
+      auto& list = occ_[pivot.index()];
+      filter_list(list, [&](std::uint32_t k) { return !clauses_[k].deleted; });
+      if (list.size() <= options_.occurrence_scan_limit) {
+        const std::uint64_t sig = clauses_[ci].sig;
+        for (std::uint32_t cj : list) {
+          if (cj == ci) continue;
+          PClause& other = clauses_[cj];
+          if (other.deleted || other.lits.size() < base.size()) continue;
+          if ((sig & ~other.sig) != 0) continue;
+          if (std::includes(other.lits.begin(), other.lits.end(), base.begin(),
+                            base.end())) {
+            remove_clause(cj);
+            ++stats_.subsumed;
+            changed = true;
+          }
+        }
+      }
+    }
+    // Self-subsuming resolution: if ci with one literal flipped subsumes
+    // another clause, that clause can drop the flipped literal.
+    if (options_.self_subsumption) {
+      const Clause base = clauses_[ci].lits;  // copy: strengthening may move
+      for (Lit l : base) {
+        if (clauses_[ci].deleted) break;
+        const Lit flipped = ~l;
+        filter_list(occ_[flipped.index()],
+                    [&](std::uint32_t k) { return !clauses_[k].deleted; });
+        if (occ_[flipped.index()].size() > options_.occurrence_scan_limit) {
+          continue;
+        }
+        std::uint64_t sig = 0;
+        for (Lit b : base) {
+          sig |= std::uint64_t{1} << ((b == l ? flipped : b).index() % 64);
+        }
+        // Copy: strengthening a candidate erases it from this very list.
+        const std::vector<std::uint32_t> candidates = occ_[flipped.index()];
+        for (std::uint32_t cj : candidates) {
+          if (cj == ci) continue;
+          PClause& other = clauses_[cj];
+          if (other.deleted || other.lits.size() < base.size()) continue;
+          if ((sig & ~other.sig) != 0) continue;
+          // Check (base \ {l}) ∪ {~l} ⊆ other via a merge walk.
+          bool subset = true;
+          auto it = other.lits.begin();
+          for (Lit b : base) {
+            const Lit want = b == l ? flipped : b;
+            while (it != other.lits.end() && *it < want) ++it;
+            if (it == other.lits.end() || *it != want) {
+              subset = false;
+              break;
+            }
+          }
+          if (!subset) continue;
+          strengthen_clause(cj, flipped);
+          ++stats_.strengthened;
+          changed = true;
+          if (unsat_) return changed;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+bool Preprocessor::blocked_clause_pass() {
+  bool changed = false;
+  std::vector<std::uint8_t> marked(2 * num_vars_, 0);
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (removed_[v]) continue;
+    for (const Lit l : {pos(v), neg(v)}) {
+      auto& mirror = occ_[(~l).index()];
+      filter_list(mirror, [&](std::uint32_t k) { return !clauses_[k].deleted; });
+      if (mirror.size() > options_.occurrence_scan_limit) continue;
+      auto& list = occ_[l.index()];
+      filter_list(list, [&](std::uint32_t k) { return !clauses_[k].deleted; });
+      for (std::uint32_t ci : list) {
+        PClause& c = clauses_[ci];
+        if (c.deleted || c.lits.size() < 2) continue;
+        for (Lit p : c.lits) marked[p.index()] = 1;
+        bool blocked = true;
+        for (std::uint32_t cj : mirror) {
+          const PClause& d = clauses_[cj];
+          if (d.deleted) continue;
+          // Resolvent of c and d on l is tautological iff d contains the
+          // negation of some other literal of c.
+          bool tautological = false;
+          for (Lit q : d.lits) {
+            if (q != ~l && marked[(~q).index()]) {
+              tautological = true;
+              break;
+            }
+          }
+          if (!tautological) {
+            blocked = false;
+            break;
+          }
+        }
+        for (Lit p : c.lits) marked[p.index()] = 0;
+        if (blocked) {
+          remove_clause(ci);  // updates occurrence counts from c.lits first
+          remapper_.push(
+              {Remapper::Entry::Kind::kBlocked, l, {std::move(c.lits)}});
+          ++stats_.blocked;
+          changed = true;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+bool Preprocessor::resolvent(const PClause& a, const PClause& b, Lit pivot,
+                             Clause& out) const {
+  // Merge a \ {pivot} with b \ {~pivot}; false when tautological.
+  out.clear();
+  for (Lit l : a.lits) {
+    if (l != pivot) out.push_back(l);
+  }
+  for (Lit l : b.lits) {
+    if (l != ~pivot) out.push_back(l);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    if (out[i].var() == out[i + 1].var()) return false;
+  }
+  return true;
+}
+
+bool Preprocessor::try_eliminate_var(Var v) {
+  const Lit p = pos(v);
+  const Lit n = neg(v);
+  const std::size_t np = occ_count_[p.index()];
+  const std::size_t nn = occ_count_[n.index()];
+  // Single-polarity variables are the pure-literal pass's job; resolving
+  // them away here would just duplicate that machinery.
+  if (np == 0 || nn == 0) return false;
+  if (np + nn > options_.bve_max_occurrences) return false;
+
+  auto& pos_list = occ_[p.index()];
+  auto& neg_list = occ_[n.index()];
+  filter_list(pos_list, [&](std::uint32_t k) { return !clauses_[k].deleted; });
+  filter_list(neg_list, [&](std::uint32_t k) { return !clauses_[k].deleted; });
+
+  std::size_t original_literals = 0;
+  for (std::uint32_t ci : pos_list) original_literals += clauses_[ci].lits.size();
+  for (std::uint32_t ci : neg_list) original_literals += clauses_[ci].lits.size();
+
+  // Gate on both clause growth and literal growth: eliminations that shrink
+  // the clause count but inflate total literals slow propagation down.
+  std::vector<Clause> resolvents;
+  std::size_t resolvent_literals = 0;
+  const std::size_t clause_budget = np + nn + options_.bve_clause_growth;
+  Clause merged;
+  for (std::uint32_t ai : pos_list) {
+    for (std::uint32_t bi : neg_list) {
+      if (!resolvent(clauses_[ai], clauses_[bi], p, merged)) continue;
+      resolvent_literals += merged.size();
+      if (resolvents.size() + 1 > clause_budget ||
+          resolvent_literals > original_literals) {
+        return false;
+      }
+      resolvents.push_back(merged);
+    }
+  }
+
+  // Commit: store the positive side for model reconstruction, drop every
+  // clause mentioning v, then add the resolvents.
+  Remapper::Entry entry{Remapper::Entry::Kind::kEliminated, p, {}};
+  entry.clauses.reserve(pos_list.size());
+  for (std::uint32_t ci : pos_list) {
+    remove_clause(ci);  // updates occurrence counts before the lits move out
+    entry.clauses.push_back(std::move(clauses_[ci].lits));
+  }
+  remapper_.push(std::move(entry));
+  for (std::uint32_t ci : neg_list) remove_clause(ci);
+  occ_[p.index()].clear();
+  occ_[n.index()].clear();
+  removed_[v] = 1;
+  ++stats_.eliminated_vars;
+
+  for (Clause& r : resolvents) {
+    if (r.empty()) {
+      unsat_ = true;
+      return true;
+    }
+    if (r.size() == 1) enqueue_unit(r[0]);
+    add_clause_internal(std::move(r));
+  }
+  return true;
+}
+
+bool Preprocessor::variable_elimination_pass() {
+  // Cheapest variables first: fewer occurrences mean fewer resolvents.
+  std::vector<Var> order;
+  order.reserve(num_vars_);
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (!removed_[v]) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(), [this](Var a, Var b) {
+    const std::size_t oa = occ_count_[pos(a).index()] + occ_count_[neg(a).index()];
+    const std::size_t ob = occ_count_[pos(b).index()] + occ_count_[neg(b).index()];
+    return oa != ob ? oa < ob : a < b;
+  });
+  bool changed = false;
+  for (Var v : order) {
+    if (unsat_) break;
+    if (removed_[v]) continue;
+    if (try_eliminate_var(v)) {
+      changed = true;
+      // Land resolvent units before the next elimination decision — but only
+      // when unit propagation is part of the selected techniques; unit
+      // resolvents are ordinary clauses otherwise.
+      if (options_.unit_propagation) propagate_units();
+    }
+  }
+  return changed;
+}
+
+void Preprocessor::compact(PreprocessResult& result) {
+  std::vector<std::uint32_t> map(num_vars_, Remapper::kUnmapped);
+  Var next = 0;
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (removed_[v]) continue;
+    if (occ_count_[pos(v).index()] + occ_count_[neg(v).index()] == 0) continue;
+    map[v] = next++;
+  }
+  Cnf out(next);
+  for (PClause& c : clauses_) {
+    if (c.deleted) continue;
+    // Rewrite in place and move: the map is monotone in the variable index,
+    // so remapped clauses stay sorted and the solver's normalized fast path
+    // can ingest them without another sort or copy.
+    for (Lit& l : c.lits) l = Lit(map[l.var()], l.negated());
+    stats_.simplified_literals += c.lits.size();
+    out.add_clause(std::move(c.lits));
+  }
+  stats_.simplified_vars = next;
+  stats_.simplified_clauses = out.num_clauses();
+  remapper_.set_map(std::move(map), next);
+  result.cnf = std::move(out);
+}
+
+PreprocessResult Preprocessor::run() {
+  if (ran_) {
+    throw std::logic_error("Preprocessor::run: single-use; construct anew");
+  }
+  ran_ = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  PreprocessResult result;
+
+  while (!unsat_ && stats_.rounds < options_.max_rounds) {
+    ++stats_.rounds;
+    bool changed = false;
+    if (options_.unit_propagation) changed |= propagate_units();
+    if (!unsat_ && options_.pure_literals) changed |= eliminate_pure_literals();
+    // BCE first: on structured encodings it removes whole clause families
+    // (e.g. at-most-one ladders), which shrinks every occurrence list the
+    // quadratic subsumption and BVE scans walk afterwards.
+    if (!unsat_ && options_.blocked_clauses) changed |= blocked_clause_pass();
+    if (!unsat_ && (options_.subsumption || options_.self_subsumption)) {
+      changed |= subsumption_pass();
+      if (options_.unit_propagation) changed |= propagate_units();
+    }
+    if (!unsat_ && options_.variable_elimination) {
+      changed |= variable_elimination_pass();
+      if (options_.unit_propagation) changed |= propagate_units();
+    }
+    if (!changed) break;
+  }
+
+  if (unsat_) {
+    result.unsat = true;
+    remapper_.set_map(std::vector<std::uint32_t>(num_vars_, Remapper::kUnmapped),
+                      0);
+    stats_.simplified_vars = 0;
+    stats_.simplified_clauses = 0;
+  } else {
+    compact(result);
+  }
+  result.remapper = std::move(remapper_);
+  stats_.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.stats = stats_;
+  return result;
+}
+
+PreprocessResult preprocess(const Cnf& cnf, PreprocessOptions options) {
+  Preprocessor pre(cnf, options);
+  return pre.run();
+}
+
+}  // namespace msropm::sat

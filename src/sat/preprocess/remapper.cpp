@@ -1,0 +1,86 @@
+#include <stdexcept>
+
+#include "msropm/sat/preprocess.hpp"
+
+namespace msropm::sat {
+
+namespace {
+
+[[nodiscard]] bool lit_true(const std::vector<std::uint8_t>& model, Lit l) {
+  return (model[l.var()] != 0) != l.negated();
+}
+
+[[nodiscard]] bool clause_satisfied(const std::vector<std::uint8_t>& model,
+                                    const Clause& c) {
+  for (Lit l : c) {
+    if (lit_true(model, l)) return true;
+  }
+  return false;
+}
+
+/// True when some literal other than `skip` satisfies the clause.
+[[nodiscard]] bool satisfied_without(const std::vector<std::uint8_t>& model,
+                                     const Clause& c, Lit skip) {
+  for (Lit l : c) {
+    if (l != skip && lit_true(model, l)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Var> Remapper::map(Var original) const {
+  if (original >= map_.size()) return std::nullopt;
+  const std::uint32_t m = map_[original];
+  if (m == kUnmapped) return std::nullopt;
+  return static_cast<Var>(m);
+}
+
+std::vector<std::uint8_t> Remapper::reconstruct(
+    const std::vector<std::uint8_t>& simplified_model) const {
+  if (simplified_model.size() != simplified_vars_) {
+    throw std::invalid_argument(
+        "Remapper::reconstruct: model size does not match simplified formula");
+  }
+  std::vector<std::uint8_t> full(original_vars_, 0);
+  for (Var v = 0; v < map_.size(); ++v) {
+    if (map_[v] != kUnmapped) full[v] = simplified_model[map_[v]];
+  }
+  // Replay eliminations newest-first. Each entry's clauses only mention
+  // variables that were still in the formula when the entry was pushed, and
+  // those all received their final values either from the solver model or
+  // from a later (already replayed) entry.
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    const Entry& e = *it;
+    switch (e.kind) {
+      case Entry::Kind::kUnit:
+      case Entry::Kind::kPure:
+        full[e.lit.var()] = e.lit.negated() ? 0 : 1;
+        break;
+      case Entry::Kind::kBlocked:
+        // Blocked clause: all resolvents on e.lit were tautological, so
+        // making e.lit true cannot unsatisfy any clause that was still alive.
+        if (!clause_satisfied(full, e.clauses[0])) {
+          full[e.lit.var()] = e.lit.negated() ? 0 : 1;
+        }
+        break;
+      case Entry::Kind::kEliminated: {
+        // BVE: clauses on the e.lit side were stored. Default the variable
+        // to falsify e.lit (satisfying the other side); if that leaves one
+        // of the stored clauses unsatisfied, flip it — resolvent
+        // satisfaction guarantees the other side then holds on its own.
+        full[e.lit.var()] = e.lit.negated() ? 1 : 0;
+        for (const Clause& c : e.clauses) {
+          if (!satisfied_without(full, c, e.lit)) {
+            full[e.lit.var()] = e.lit.negated() ? 0 : 1;
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return full;
+}
+
+}  // namespace msropm::sat

@@ -2,50 +2,81 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace msropm::sat {
 
-Solver::Solver(const Cnf& cnf, SolverOptions options)
-    : num_vars_(cnf.num_vars()),
-      watches_(2 * cnf.num_vars()),
-      assigns_(cnf.num_vars(), LBool::kUndef),
-      polarity_(cnf.num_vars(), options.default_polarity ? 1 : 0),
-      level_(cnf.num_vars(), 0),
-      reason_(cnf.num_vars(), kNoReason),
-      activity_(cnf.num_vars(), 0.0),
-      seen_(cnf.num_vars(), 0),
-      options_(options) {
-  for (const Clause& c : cnf.clauses()) {
-    // Normalize: drop duplicate literals; detect tautologies.
-    Clause lits = c;
-    std::sort(lits.begin(), lits.end());
-    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
-    bool tautology = false;
-    for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
-      if (lits[i].var() == lits[i + 1].var()) {
-        tautology = true;
-        break;
-      }
-    }
-    if (tautology) continue;
-    if (lits.empty()) {
+Solver::Solver(const Cnf& cnf, SolverOptions options) : options_(options) {
+  if (options_.presimplify) {
+    PreprocessResult pre = preprocess(cnf, options_.preprocess);
+    preprocess_stats_ = pre.stats;
+    remapper_ = std::move(pre.remapper);
+    if (pre.unsat) {
+      setup_arrays(0);
       ok_ = false;
       return;
     }
-    if (lits.size() == 1) {
-      if (value(lits[0]) == LBool::kFalse) {
-        ok_ = false;
-        return;
-      }
-      if (value(lits[0]) == LBool::kUndef) enqueue(lits[0], kNoReason);
-      continue;
-    }
-    clauses_.push_back(InternalClause{std::move(lits), 0.0, false, false});
-    attach_clause(static_cast<std::uint32_t>(clauses_.size() - 1));
+    // Preprocessor output is normalized; move its clauses straight in.
+    init_from_normalized(pre.cnf.num_vars(), pre.cnf.release_clauses());
+  } else {
+    init_from(cnf);
   }
-  // Bias branching toward frequently occurring variables.
-  for (const InternalClause& c : clauses_) {
-    for (Lit l : c.lits) activity_[l.var()] += 1.0;
+}
+
+void Solver::setup_arrays(std::size_t num_vars) {
+  num_vars_ = num_vars;
+  watches_.assign(2 * num_vars, {});
+  assigns_.assign(num_vars, LBool::kUndef);
+  polarity_.assign(num_vars, options_.default_polarity ? 1 : 0);
+  level_.assign(num_vars, 0);
+  reason_.assign(num_vars, kNoReason);
+  activity_.assign(num_vars, 0.0);
+  seen_.assign(num_vars, 0);
+}
+
+void Solver::ingest_clause(Clause&& lits, bool normalized) {
+  if (!ok_) return;
+  if (!normalized) {
+    // Normalize: drop duplicate literals; detect tautologies.
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+      if (lits[i].var() == lits[i + 1].var()) return;  // tautology
+    }
+  }
+  if (lits.empty()) {
+    ok_ = false;
+    return;
+  }
+  if (lits.size() == 1) {
+    if (value(lits[0]) == LBool::kFalse) {
+      ok_ = false;
+      return;
+    }
+    if (value(lits[0]) == LBool::kUndef) enqueue(lits[0], kNoReason);
+    return;
+  }
+  for (Lit l : lits) activity_[l.var()] += 1.0;
+  clauses_.push_back(InternalClause{std::move(lits), 0.0, false, false});
+  attach_clause(static_cast<std::uint32_t>(clauses_.size() - 1));
+}
+
+void Solver::init_from(const Cnf& cnf) {
+  setup_arrays(cnf.num_vars());
+  clauses_.reserve(cnf.num_clauses());
+  for (const Clause& c : cnf.clauses()) {
+    ingest_clause(Clause(c), /*normalized=*/false);
+    if (!ok_) return;
+  }
+}
+
+void Solver::init_from_normalized(std::size_t num_vars,
+                                  std::vector<Clause>&& clauses) {
+  setup_arrays(num_vars);
+  clauses_.reserve(clauses.size());
+  for (Clause& c : clauses) {
+    ingest_clause(std::move(c), /*normalized=*/true);
+    if (!ok_) return;
   }
 }
 
@@ -313,6 +344,19 @@ std::uint64_t Solver::luby(std::uint64_t i) noexcept {
 SolveResult Solver::solve() { return solve({}); }
 
 SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
+  if (solve_started_) {
+    throw std::logic_error(
+        "Solver::solve: solver is single-shot (search state is not reset "
+        "between calls); construct a fresh Solver per query");
+  }
+  if (remapper_ && !assumptions.empty()) {
+    // Precondition failure, not a consumed attempt: the caller may retry
+    // without assumptions, so leave the single-shot state untouched.
+    throw std::logic_error(
+        "Solver::solve: assumptions are unsupported with presimplify (the "
+        "assumed variables may have been fixed or eliminated)");
+  }
+  solve_started_ = true;
   if (!ok_) return SolveResult::kUnsat;
   if (propagate() != kNoReason) {
     ok_ = false;
@@ -379,6 +423,7 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
         for (Var v = 0; v < num_vars_; ++v) {
           model_[v] = assigns_[v] == LBool::kTrue ? 1 : 0;
         }
+        if (remapper_) model_ = remapper_->reconstruct(model_);
         backtrack(0);
         return SolveResult::kSat;
       }

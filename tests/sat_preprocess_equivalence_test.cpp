@@ -1,0 +1,153 @@
+// Randomized equivalence harness for the preprocessor: on hundreds of random
+// 3-CNFs (spanning under-constrained, threshold, and over-constrained
+// densities), preprocessing must preserve the SAT/UNSAT verdict, and every
+// model reconstructed through the Remapper must satisfy the ORIGINAL formula.
+#include <gtest/gtest.h>
+
+#include "msropm/sat/cnf.hpp"
+#include "msropm/sat/preprocess.hpp"
+#include "msropm/sat/solver.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace {
+
+using namespace msropm::sat;
+
+Cnf random_3cnf(msropm::util::Rng& rng, std::size_t vars, std::size_t clauses) {
+  Cnf cnf(vars);
+  for (std::size_t c = 0; c < clauses; ++c) {
+    Clause clause;
+    // Independent draws on purpose: duplicate literals and var-repeats
+    // exercise the normalizer's duplicate/tautology handling.
+    while (clause.size() < 3) {
+      const auto v = static_cast<Var>(rng.uniform_index(vars));
+      clause.push_back(Lit(v, rng.bernoulli(0.5)));
+    }
+    cnf.add_clause(clause);
+  }
+  return cnf;
+}
+
+void check_equivalence(const Cnf& cnf, const PreprocessOptions& options,
+                       const std::string& label) {
+  Solver plain(cnf);
+  const SolveResult expected = plain.solve();
+  ASSERT_NE(expected, SolveResult::kUnknown) << label;
+
+  const PreprocessResult pre = preprocess(cnf, options);
+  if (pre.unsat) {
+    EXPECT_EQ(expected, SolveResult::kUnsat)
+        << label << ": preprocessing proved UNSAT on a satisfiable formula";
+    return;
+  }
+  Solver simplified(pre.cnf);
+  const SolveResult got = simplified.solve();
+  ASSERT_EQ(got, expected) << label << ": verdict changed by preprocessing";
+  if (got == SolveResult::kSat) {
+    const auto model = pre.remapper.reconstruct(simplified.model());
+    ASSERT_EQ(model.size(), cnf.num_vars()) << label;
+    EXPECT_TRUE(cnf.satisfied_by(model))
+        << label << ": reconstructed model violates the original formula";
+  }
+
+  // The integrated path must agree as well.
+  SolverOptions solver_options;
+  solver_options.presimplify = true;
+  solver_options.preprocess = options;
+  Solver integrated(cnf, solver_options);
+  ASSERT_EQ(integrated.solve(), expected) << label << " (integrated)";
+  if (expected == SolveResult::kSat) {
+    EXPECT_TRUE(cnf.satisfied_by(integrated.model())) << label << " (integrated)";
+  }
+}
+
+TEST(PreprocessEquivalence, RandomThreeCnfFullPipeline) {
+  msropm::util::Rng rng(20260730);
+  int trials = 0;
+  for (const double ratio : {1.5, 3.0, 4.26, 6.0, 9.0}) {
+    for (int t = 0; t < 45; ++t) {
+      const std::size_t vars = 12 + rng.uniform_index(28);  // 12..39
+      const auto clauses =
+          static_cast<std::size_t>(ratio * static_cast<double>(vars)) + 1;
+      const Cnf cnf = random_3cnf(rng, vars, clauses);
+      check_equivalence(cnf, PreprocessOptions{},
+                        "ratio=" + std::to_string(ratio) +
+                            " trial=" + std::to_string(t));
+      ++trials;
+    }
+  }
+  EXPECT_GE(trials, 200) << "harness must cover 200+ formulas";
+}
+
+TEST(PreprocessEquivalence, EachTechniqueInIsolation) {
+  // Narrow options isolate bugs to a single technique when this fails.
+  struct Config {
+    const char* name;
+    PreprocessOptions options;
+  };
+  std::vector<Config> configs;
+  {
+    PreprocessOptions base;
+    base.unit_propagation = base.pure_literals = base.subsumption =
+        base.self_subsumption = base.blocked_clauses =
+            base.variable_elimination = false;
+    Config up{"up", base};
+    up.options.unit_propagation = true;
+    Config pure{"pure", base};
+    pure.options.pure_literals = true;
+    Config sub{"subsume", base};
+    sub.options.subsumption = sub.options.self_subsumption = true;
+    Config bce{"bce", base};
+    bce.options.blocked_clauses = true;
+    Config bve{"bve", base};
+    bve.options.variable_elimination = true;
+    configs = {up, pure, sub, bce, bve};
+  }
+  msropm::util::Rng rng(99);
+  for (const auto& config : configs) {
+    for (int t = 0; t < 12; ++t) {
+      const std::size_t vars = 10 + rng.uniform_index(15);
+      const Cnf cnf = random_3cnf(rng, vars, 4 * vars);
+      check_equivalence(cnf, config.options,
+                        std::string(config.name) + " trial=" + std::to_string(t));
+    }
+  }
+}
+
+TEST(PreprocessEquivalence, GenerousBveGrowth) {
+  // A nonzero growth cap exercises eliminations that temporarily enlarge the
+  // clause database.
+  PreprocessOptions options;
+  options.bve_clause_growth = 8;
+  options.bve_max_occurrences = 40;
+  msropm::util::Rng rng(7);
+  for (int t = 0; t < 25; ++t) {
+    const std::size_t vars = 10 + rng.uniform_index(20);
+    const Cnf cnf = random_3cnf(rng, vars, 3 * vars + rng.uniform_index(vars));
+    check_equivalence(cnf, options, "growth trial=" + std::to_string(t));
+  }
+}
+
+TEST(PreprocessEquivalence, MixedClauseLengths) {
+  // Mixed unit/binary/long clauses hit the unit queue and strengthening
+  // paths harder than uniform 3-CNF.
+  msropm::util::Rng rng(4242);
+  for (int t = 0; t < 40; ++t) {
+    const std::size_t vars = 8 + rng.uniform_index(16);
+    Cnf cnf(vars);
+    const std::size_t clauses = 3 * vars;
+    for (std::size_t c = 0; c < clauses; ++c) {
+      const std::size_t len = 1 + rng.uniform_index(5);
+      Clause clause;
+      while (clause.size() < len) {
+        const auto v = static_cast<Var>(rng.uniform_index(vars));
+        clause.push_back(Lit(v, rng.bernoulli(0.5)));
+      }
+      cnf.add_clause(clause);
+    }
+    check_equivalence(cnf, PreprocessOptions{},
+                      "mixed trial=" + std::to_string(t));
+  }
+}
+
+}  // namespace

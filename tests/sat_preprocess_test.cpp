@@ -1,0 +1,310 @@
+// Unit tests for the CNF preprocessor: per-technique behavior, stats, and
+// model reconstruction through the Remapper.
+#include "msropm/sat/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msropm/graph/builders.hpp"
+#include "msropm/sat/coloring_encoder.hpp"
+#include "msropm/sat/solver.hpp"
+
+namespace {
+
+using namespace msropm::sat;
+
+PreprocessOptions only(bool up = false, bool pure = false, bool sub = false,
+                       bool selfsub = false, bool bce = false, bool bve = false) {
+  PreprocessOptions o;
+  o.unit_propagation = up;
+  o.pure_literals = pure;
+  o.subsumption = sub;
+  o.self_subsumption = selfsub;
+  o.blocked_clauses = bce;
+  o.variable_elimination = bve;
+  return o;
+}
+
+TEST(Preprocess, EmptyFormula) {
+  Cnf cnf(4);
+  const auto r = preprocess(cnf);
+  EXPECT_FALSE(r.unsat);
+  EXPECT_EQ(r.cnf.num_clauses(), 0u);
+  EXPECT_EQ(r.stats.simplified_vars, 0u);
+  // All four variables are unconstrained; reconstruction must still produce
+  // a full-size model.
+  const auto model = r.remapper.reconstruct({});
+  EXPECT_EQ(model.size(), 4u);
+}
+
+TEST(Preprocess, EmptyClauseIsUnsat) {
+  Cnf cnf(2);
+  cnf.add_clause({});
+  const auto r = preprocess(cnf);
+  EXPECT_TRUE(r.unsat);
+}
+
+TEST(Preprocess, TautologyAndDuplicateRemoval) {
+  Cnf cnf(3);
+  cnf.add_binary(pos(0), neg(0));          // tautology
+  cnf.add_ternary(pos(0), pos(1), pos(2));
+  cnf.add_ternary(pos(2), pos(1), pos(0));  // duplicate (different order)
+  cnf.add_clause({pos(1), pos(1), pos(2)});  // duplicate literal collapses
+  const auto r = preprocess(cnf, only());
+  EXPECT_EQ(r.stats.tautologies, 1u);
+  EXPECT_EQ(r.stats.duplicate_clauses, 1u);
+  EXPECT_EQ(r.cnf.num_clauses(), 2u);
+}
+
+TEST(Preprocess, UnitPropagationToFixpoint) {
+  // x0; x0 -> x1; x1 -> x2: everything fixed, no clauses left.
+  Cnf cnf(3);
+  cnf.add_unit(pos(0));
+  cnf.add_binary(neg(0), pos(1));
+  cnf.add_binary(neg(1), pos(2));
+  const auto r = preprocess(cnf, only(/*up=*/true));
+  EXPECT_FALSE(r.unsat);
+  EXPECT_EQ(r.cnf.num_clauses(), 0u);
+  EXPECT_EQ(r.stats.unit_fixed, 3u);
+  const auto model = r.remapper.reconstruct({});
+  ASSERT_EQ(model.size(), 3u);
+  EXPECT_TRUE(cnf.satisfied_by(model));
+  EXPECT_EQ(model[0], 1);
+  EXPECT_EQ(model[1], 1);
+  EXPECT_EQ(model[2], 1);
+}
+
+TEST(Preprocess, UnitConflictIsUnsat) {
+  Cnf cnf(2);
+  cnf.add_unit(pos(0));
+  cnf.add_binary(neg(0), pos(1));
+  cnf.add_unit(neg(1));
+  const auto r = preprocess(cnf, only(/*up=*/true));
+  EXPECT_TRUE(r.unsat);
+}
+
+TEST(Preprocess, PureLiteralElimination) {
+  // x0 appears only positively; removing its clauses makes x1 pure too
+  // (cascade), leaving nothing.
+  Cnf cnf(3);
+  cnf.add_binary(pos(0), pos(1));
+  cnf.add_binary(pos(0), neg(1));
+  cnf.add_binary(pos(0), pos(2));
+  const auto r = preprocess(cnf, only(false, /*pure=*/true));
+  EXPECT_EQ(r.cnf.num_clauses(), 0u);
+  EXPECT_GE(r.stats.pure_fixed, 1u);
+  const auto model = r.remapper.reconstruct({});
+  EXPECT_TRUE(cnf.satisfied_by(model));
+  EXPECT_EQ(model[0], 1) << "pure literal must be set to its polarity";
+}
+
+TEST(Preprocess, PureLiteralBothPolaritiesUntouched) {
+  Cnf cnf(2);
+  cnf.add_binary(pos(0), pos(1));
+  cnf.add_binary(neg(0), neg(1));
+  const auto r = preprocess(cnf, only(false, /*pure=*/true));
+  EXPECT_EQ(r.cnf.num_clauses(), 2u);
+  EXPECT_EQ(r.stats.pure_fixed, 0u);
+}
+
+TEST(Preprocess, SubsumptionRemovesSuperset) {
+  Cnf cnf(3);
+  cnf.add_binary(pos(0), pos(1));
+  cnf.add_ternary(pos(0), pos(1), pos(2));  // subsumed by the binary
+  const auto r = preprocess(cnf, only(false, false, /*sub=*/true));
+  EXPECT_EQ(r.cnf.num_clauses(), 1u);
+  EXPECT_EQ(r.stats.subsumed, 1u);
+}
+
+TEST(Preprocess, SelfSubsumptionStrengthens) {
+  // (x0 | x1) and (~x0 | x1 | x2): resolving on x0 gives (x1 | x2) which
+  // subsumes the second clause -> drop ~x0 from it.
+  Cnf cnf(3);
+  cnf.add_binary(pos(0), pos(1));
+  cnf.add_ternary(neg(0), pos(1), pos(2));
+  const auto r =
+      preprocess(cnf, only(false, false, /*sub=*/true, /*selfsub=*/true));
+  EXPECT_GE(r.stats.strengthened, 1u);
+  for (const auto& c : r.cnf.clauses()) EXPECT_LE(c.size(), 2u);
+}
+
+TEST(Preprocess, BlockedClauseEliminationOnAmoLadder) {
+  // Direct one-node 3-coloring: ALO + 3 AMO clauses. Every AMO clause is
+  // blocked (all resolvents with the ALO clause are tautological).
+  Cnf cnf(3);
+  cnf.add_ternary(pos(0), pos(1), pos(2));
+  cnf.add_binary(neg(0), neg(1));
+  cnf.add_binary(neg(0), neg(2));
+  cnf.add_binary(neg(1), neg(2));
+  const auto r = preprocess(cnf, only(false, false, false, false, /*bce=*/true));
+  EXPECT_GE(r.stats.blocked, 3u);
+  // A model of the simplified formula that sets several colors must be
+  // repaired by the reconstruction stack to satisfy the AMO clauses.
+  Solver s(r.cnf);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  const auto model = r.remapper.reconstruct(s.model());
+  EXPECT_TRUE(cnf.satisfied_by(model));
+}
+
+TEST(Preprocess, BveEliminatesChainVariable) {
+  // x0 -> x1 -> x2 chain written as implications: the middle variable has one
+  // positive and one negative occurrence and resolves away.
+  Cnf cnf(3);
+  cnf.add_binary(neg(0), pos(1));
+  cnf.add_binary(neg(1), pos(2));
+  const auto r =
+      preprocess(cnf, only(false, false, false, false, false, /*bve=*/true));
+  EXPECT_GE(r.stats.eliminated_vars, 1u);
+  // The resolvent (~x0 | x2) must survive.
+  Solver s(r.cnf);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  const auto model = r.remapper.reconstruct(s.model());
+  EXPECT_TRUE(cnf.satisfied_by(model));
+}
+
+TEST(Remapper, BveReconstructionFlipsOnlyWhenForced) {
+  // Hand-built scenario: x1 was eliminated from (x0 | x1) and (~x1 | x2);
+  // the positive side {(x0 | x1)} sits on the stack, x0 -> 0 and x2 -> 1 in
+  // the simplified space.
+  Remapper remapper(3);
+  Remapper::Entry entry;
+  entry.kind = Remapper::Entry::Kind::kEliminated;
+  entry.lit = pos(1);
+  entry.clauses = {Clause{pos(0), pos(1)}};
+  remapper.push(std::move(entry));
+  remapper.set_map({0, Remapper::kUnmapped, 1}, 2);
+
+  // x0 false leaves (x0 | x1) unsatisfied: reconstruction must flip x1 on.
+  const auto forced = remapper.reconstruct({0, 1});
+  EXPECT_EQ(forced[0], 0);
+  EXPECT_EQ(forced[1], 1) << "stored side unsatisfied -> eliminated var flips";
+  EXPECT_EQ(forced[2], 1);
+
+  // x0 true satisfies the stored side: x1 stays at its default (false), which
+  // is what keeps the negative side (~x1 | x2) satisfied for free.
+  const auto relaxed = remapper.reconstruct({1, 0});
+  EXPECT_EQ(relaxed[0], 1);
+  EXPECT_EQ(relaxed[1], 0);
+  EXPECT_EQ(relaxed[2], 0);
+}
+
+TEST(Remapper, BlockedClauseReconstruction) {
+  // Clause (x0 | x1) was removed as blocked on x0; a model with both mapped
+  // vars false must be repaired by setting the blocking literal true.
+  Remapper remapper(2);
+  Remapper::Entry entry;
+  entry.kind = Remapper::Entry::Kind::kBlocked;
+  entry.lit = pos(0);
+  entry.clauses = {Clause{pos(0), pos(1)}};
+  remapper.push(std::move(entry));
+  remapper.set_map({0, 1}, 2);
+  const auto repaired = remapper.reconstruct({0, 0});
+  EXPECT_EQ(repaired[0], 1);
+  const auto untouched = remapper.reconstruct({0, 1});
+  EXPECT_EQ(untouched[0], 0) << "satisfied blocked clause must not flip";
+}
+
+TEST(Preprocess, BveRespectsGrowthCap) {
+  // A variable with 3 positive and 3 negative occurrences over disjoint
+  // literals yields 9 resolvents > 6 originals: elimination must be skipped
+  // with the default zero growth cap.
+  Cnf cnf(7);
+  for (Var v = 1; v <= 3; ++v) cnf.add_binary(pos(0), pos(v));
+  for (Var v = 4; v <= 6; ++v) cnf.add_binary(neg(0), pos(v));
+  const auto r =
+      preprocess(cnf, only(false, false, false, false, false, /*bve=*/true));
+  EXPECT_EQ(r.stats.eliminated_vars, 0u);
+  EXPECT_EQ(r.cnf.num_clauses(), 6u);
+}
+
+TEST(Preprocess, VariableCompaction) {
+  // Fix x1 by unit propagation; remaining vars must be densely renumbered.
+  Cnf cnf(4);
+  cnf.add_unit(pos(1));
+  cnf.add_binary(pos(0), pos(3));
+  const auto r = preprocess(cnf, only(/*up=*/true));
+  EXPECT_EQ(r.stats.simplified_vars, 2u);
+  EXPECT_EQ(r.cnf.num_vars(), 2u);
+  EXPECT_TRUE(r.remapper.map(0).has_value());
+  EXPECT_FALSE(r.remapper.map(1).has_value()) << "fixed var must be unmapped";
+  EXPECT_FALSE(r.remapper.map(2).has_value()) << "unconstrained var unmapped";
+  EXPECT_TRUE(r.remapper.map(3).has_value());
+}
+
+TEST(Preprocess, StatsAccounting) {
+  Cnf cnf(4);
+  cnf.add_unit(pos(0));
+  cnf.add_ternary(pos(1), pos(2), pos(3));
+  const auto r = preprocess(cnf);
+  EXPECT_EQ(r.stats.original_vars, 4u);
+  EXPECT_EQ(r.stats.original_clauses, 2u);
+  EXPECT_EQ(r.stats.original_literals, 4u);
+  EXPECT_GE(r.stats.rounds, 1u);
+  EXPECT_GE(r.stats.seconds, 0.0);
+  EXPECT_GT(r.stats.clause_reduction(), 0.0);
+}
+
+TEST(Preprocess, RunIsSingleUse) {
+  Cnf cnf(1);
+  Preprocessor p(cnf);
+  (void)p.run();
+  EXPECT_THROW((void)p.run(), std::logic_error);
+}
+
+TEST(Preprocess, ReconstructRejectsWrongModelSize) {
+  Cnf cnf(2);
+  cnf.add_binary(pos(0), pos(1));
+  const auto r = preprocess(cnf);
+  EXPECT_THROW((void)r.remapper.reconstruct(std::vector<std::uint8_t>(17)),
+               std::invalid_argument);
+}
+
+TEST(Preprocess, KingsGraphColoringRemovesOverTwentyPercent) {
+  const auto g = msropm::graph::kings_graph_square(16);
+  const auto enc = encode_coloring(g, 4);
+  const auto r =
+      preprocess(enc.cnf, exact_coloring_solver_options().preprocess);
+  EXPECT_FALSE(r.unsat);
+  EXPECT_GE(r.stats.clause_reduction(), 0.20)
+      << "BCE must strip the at-most-one ladders";
+  Solver s(r.cnf);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  const auto model = r.remapper.reconstruct(s.model());
+  EXPECT_TRUE(enc.cnf.satisfied_by(model));
+}
+
+TEST(SolverPresimplify, ModelInOriginalSpace) {
+  const auto g = msropm::graph::kings_graph_square(8);
+  const auto enc = encode_coloring(g, 4);
+  SolverOptions options;
+  options.presimplify = true;
+  Solver s(enc.cnf, options);
+  ASSERT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.model().size(), enc.cnf.num_vars());
+  EXPECT_TRUE(enc.cnf.satisfied_by(s.model()));
+  ASSERT_TRUE(s.preprocess_stats().has_value());
+  EXPECT_GT(s.preprocess_stats()->clause_reduction(), 0.0);
+}
+
+TEST(SolverPresimplify, UnsatDetectedDuringPreprocessing) {
+  Cnf cnf(1);
+  cnf.add_unit(pos(0));
+  cnf.add_unit(neg(0));
+  SolverOptions options;
+  options.presimplify = true;
+  Solver s(cnf, options);
+  EXPECT_EQ(s.solve(), SolveResult::kUnsat);
+}
+
+TEST(SolverPresimplify, AssumptionsRejected) {
+  Cnf cnf(2);
+  cnf.add_binary(pos(0), pos(1));
+  SolverOptions options;
+  options.presimplify = true;
+  Solver s(cnf, options);
+  EXPECT_THROW((void)s.solve({pos(0)}), std::logic_error);
+  // Precondition failures do not consume the single shot: a retry without
+  // assumptions must run normally.
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+}
+
+}  // namespace

@@ -203,6 +203,28 @@ TEST(Solver, ConflictLimitReturnsUnknown) {
   EXPECT_EQ(s.solve(), SolveResult::kUnknown);
 }
 
+TEST(Solver, SecondSolveThrows) {
+  // The solver is single-shot: search state (trail, learnts, ok_ flag) is
+  // not reset, so a second call must fail loudly rather than return stale
+  // results.
+  Cnf cnf(1);
+  cnf.add_unit(pos(0));
+  Solver s(cnf);
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_THROW((void)s.solve(), std::logic_error);
+}
+
+TEST(Solver, SecondSolveAfterAssumptionConflictThrows) {
+  // After an assumption conflict the solver would wrongly report the formula
+  // itself UNSAT on reuse; the single-shot contract turns that silent wrong
+  // answer into an exception.
+  Cnf cnf(1);
+  cnf.add_unit(pos(0));
+  Solver s(cnf);
+  EXPECT_EQ(s.solve({neg(0)}), SolveResult::kUnsat);
+  EXPECT_THROW((void)s.solve(), std::logic_error);
+}
+
 TEST(SolveCnfHelper, ReturnsModelOrNullopt) {
   Cnf sat(1);
   sat.add_unit(pos(0));
