@@ -1,0 +1,146 @@
+// Portfolio sweep bench: compare sweep wall-clock of each single strategy
+// against the full portfolio at 1/2/4 workers on a King's-graph grid that
+// mixes satisfiable K=4 instances with UNSAT K=3 instances (King's graphs
+// contain 4-cliques).
+//
+// The point being measured: no single strategy is good everywhere — the
+// heuristics can never decide the UNSAT rows and burn their whole budget on
+// them, while CDCL pays encoding+construction on every easy SAT row that
+// DSATUR decides in microseconds. The portfolio's first-winner cancellation
+// gets the best of each per instance, so its sweep wall-clock beats the best
+// single COMPLETE strategy even on one core; extra workers then overlap
+// instances. Verdicts must be identical at every worker count (checked here;
+// the bench exits nonzero on any mismatch or speedup < 1.5x).
+//
+// Usage: bench_portfolio [repetitions=3]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "msropm/portfolio/portfolio.hpp"
+#include "msropm/portfolio/sweep.hpp"
+#include "msropm/util/table.hpp"
+
+namespace {
+
+using namespace msropm;
+
+std::vector<portfolio::InstanceSpec> build_grid() {
+  std::vector<portfolio::InstanceSpec> instances;
+  // Satisfiable rows: the paper's King's-graph 4-colorings up to 46x46,
+  // largest first (LPT order): with the strategy-major schedule the wave of
+  // cheap probes then finishes its big tasks earliest, so when workers spill
+  // into the next strategy wave the still-undecided instances are the tiny
+  // ones and the doomed-duplicate-work window stays negligible.
+  for (const std::size_t side : {46, 40, 36, 32, 29, 26, 23, 20, 18, 16, 14, 12, 10}) {
+    instances.push_back(portfolio::kings_instance(side, 4));
+  }
+  // UNSAT rows: King's graphs at K=3 (every 2x2 block is a 4-clique). Kept
+  // small so the CDCL refutations — the only strategy that can decide them —
+  // are sub-millisecond each.
+  for (const std::size_t side : {14, 13, 12, 11, 10, 9, 8, 7}) {
+    instances.push_back(portfolio::kings_instance(side, 3));
+  }
+  return instances;
+}
+
+struct Measurement {
+  double wall_ms = std::numeric_limits<double>::max();  ///< best of reps
+  std::size_t decided = 0;
+  std::vector<portfolio::Verdict> verdicts;
+};
+
+Measurement measure(const std::vector<portfolio::InstanceSpec>& instances,
+                    const portfolio::SweepOptions& options, int reps) {
+  Measurement m;
+  const portfolio::SweepRunner runner(options);
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto result = runner.run(instances);
+    m.wall_ms = std::min(m.wall_ms, result.wall_ms);
+    m.decided = result.decided();
+    m.verdicts.clear();
+    for (const auto& r : result.instances) m.verdicts.push_back(r.verdict);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::max(1, std::atoi(argv[1])) : 3;
+  const auto instances = build_grid();
+
+  util::TextTable table(
+      {"configuration", "workers", "wall_ms", "decided", "vs_best_single"});
+
+  // Single-strategy sweeps (serial): the baselines a portfolio must beat.
+  double best_single_complete = std::numeric_limits<double>::max();
+  std::string best_single_name;
+  std::vector<portfolio::Verdict> reference_verdicts;
+  std::vector<std::pair<std::string, Measurement>> singles;
+  for (const portfolio::StrategyConfig& config : portfolio::default_strategies()) {
+    portfolio::SweepOptions options;
+    options.portfolio.strategies = {config};
+    const Measurement m = measure(instances, options, reps);
+    singles.emplace_back(portfolio::to_string(config.kind), m);
+    if (m.decided == instances.size() && m.wall_ms < best_single_complete) {
+      best_single_complete = m.wall_ms;
+      best_single_name = portfolio::to_string(config.kind);
+      reference_verdicts = m.verdicts;
+    }
+  }
+  if (best_single_name.empty()) {
+    std::fprintf(stderr,
+                 "FATAL: no single strategy decided the whole grid; the "
+                 "speedup baseline is undefined\n");
+    return 1;
+  }
+  for (const auto& [name, m] : singles) {
+    table.add_row({"single:" + name, "1", util::format_double(m.wall_ms, 2),
+                   std::to_string(m.decided) + "/" +
+                       std::to_string(instances.size()),
+                   util::format_double(best_single_complete / m.wall_ms, 2)});
+  }
+
+  // Full portfolio at 1/2/4 workers. Verdicts must match the complete
+  // single-strategy reference exactly at every worker count.
+  bool verdicts_ok = true;
+  double portfolio_at_4 = std::numeric_limits<double>::max();
+  for (const std::size_t workers : {1, 2, 4}) {
+    portfolio::SweepOptions options;
+    options.portfolio.num_workers = workers;
+    const Measurement m = measure(instances, options, reps);
+    if (m.verdicts != reference_verdicts) {
+      std::fprintf(stderr,
+                   "FATAL: portfolio verdicts at %zu workers differ from the "
+                   "serial reference\n",
+                   workers);
+      verdicts_ok = false;
+    }
+    if (workers == 4) portfolio_at_4 = m.wall_ms;
+    table.add_row({"portfolio", std::to_string(workers),
+                   util::format_double(m.wall_ms, 2),
+                   std::to_string(m.decided) + "/" +
+                       std::to_string(instances.size()),
+                   util::format_double(best_single_complete / m.wall_ms, 2)});
+  }
+
+  std::printf("%s", table.render().c_str());
+  const double speedup = best_single_complete / portfolio_at_4;
+  std::printf(
+      "grid: %zu instances (13 SAT K=4, 8 UNSAT K=3), best-of-%d reps\n"
+      "best single complete strategy: %s (%.2f ms); portfolio @4 workers: "
+      "%.2f ms -> %.2fx\n",
+      instances.size(), reps, best_single_name.c_str(), best_single_complete,
+      portfolio_at_4, speedup);
+  if (!verdicts_ok) return 1;
+  if (speedup < 1.5) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx < 1.5x target\n", speedup);
+    return 1;
+  }
+  return 0;
+}

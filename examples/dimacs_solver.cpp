@@ -12,7 +12,10 @@
 // statistics as a table (copy-pasteable into bench notes). --no-preprocess
 // solves the raw encoding instead.
 //
-// Exit code 0 when the best coloring is proper, 1 otherwise.
+// Exit codes follow the DIMACS solver convention so scripted sweeps can trust
+// the status: 10 = a proper K-coloring exists (found by any engine), 20 = no
+// K-coloring exists (proved by the --sat CDCL baseline), 0 = unknown (no
+// proper coloring found and no proof). Usage/input errors exit 2.
 
 #include <cstdio>
 #include <cstdlib>
@@ -142,16 +145,29 @@ int main(int argc, char** argv) {
   const auto greedy = solvers::solve_dsatur(g);
   std::printf("DSATUR greedy: %u colors (proper)\n", greedy.colors_used);
 
+  // DIMACS-convention status: 10 = SAT (proper coloring in hand), 20 = UNSAT
+  // (CDCL proof), 0 = unknown. The MSROPM and DSATUR colorings are SAT
+  // witnesses; only the exact baseline can prove UNSAT.
+  int status = 0;
+  if (graph::count_conflicts(g, best) == 0) status = 10;
+  if (greedy.colors_used <= colors) status = 10;
+
   if (run_sat) {
     sat::SolverOptions solver_options = sat::exact_coloring_solver_options();
     solver_options.presimplify = preprocess;
     const auto outcome =
         sat::solve_exact_coloring_detailed(g, colors, {}, solver_options);
+    const char* answer = "UNKNOWN (conflict limit hit)";
+    if (outcome.result == sat::SolveResult::kSat) {
+      answer = "exists";
+      status = 10;
+    } else if (outcome.result == sat::SolveResult::kUnsat) {
+      answer = "does NOT exist";
+      status = 20;
+    }
     std::printf("SAT (%s): %u-coloring %s\n",
-                preprocess ? "preprocessed" : "raw encoding", colors,
-                outcome.result == sat::SolveResult::kSat ? "exists"
-                                                         : "does NOT exist");
+                preprocess ? "preprocessed" : "raw encoding", colors, answer);
     print_sat_stats(outcome);
   }
-  return graph::count_conflicts(g, best) == 0 ? 0 : 1;
+  return status;
 }

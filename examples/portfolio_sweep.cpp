@@ -1,0 +1,193 @@
+// Portfolio sweep CLI: run the msropm::portfolio solver portfolio over a grid
+// of K-coloring instances (King's graphs and/or DIMACS .col files) on a
+// worker pool, and print the per-instance winner/verdict/time/quality report.
+//
+// Usage:
+//   portfolio_sweep [--kings S1,S2,...] [--colors K] [--kings-unsat S1,S2,...]
+//                   [--dimacs graph.col]... [--jobs N] [--timeout-ms T]
+//                   [--strategies dsatur,cdcl,cdcl-pre,tabucol,sa]
+//                   [--seed S] [--schedule strategy|instance] [--csv]
+//
+//   --kings        side lengths of King's-graph instances colored with
+//                  --colors (default grid: 10,14,18,22,26,30 at K=4)
+//   --kings-unsat  side lengths added as K=3 instances; King's graphs contain
+//                  4-cliques, so these are UNSAT and exercise the CDCL proof
+//                  path of the portfolio
+//   --jobs         worker threads (default 1; 1 = fully deterministic)
+//   --timeout-ms   wall-clock cap per strategy attempt (default 0 = none;
+//                  breaks strict determinism, see src/portfolio/README.md)
+//   --strategies   comma list; a kind may repeat (each slot gets its own
+//                  seed stream)
+//   --schedule     queue order: "strategy" (cheap probes first, default) or
+//                  "instance" (all strategies of an instance race)
+//   --csv          emit the report as CSV instead of an aligned table
+//
+// Exit code: 0 when every instance reached a definitive verdict (colored or
+// UNSAT), 1 when any stayed unknown, 2 on usage errors.
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "msropm/portfolio/portfolio.hpp"
+#include "msropm/portfolio/sweep.hpp"
+#include "msropm/util/strings.hpp"
+
+namespace {
+
+using namespace msropm;
+
+/// Parse "10,14,18" into side lengths; rejects junk and trailing garbage.
+bool parse_size_list(const char* arg, std::vector<std::size_t>& out) {
+  const auto tokens = util::split(arg, ',', /*skip_empty=*/false);
+  if (tokens.empty()) return false;
+  for (const std::string& token : tokens) {
+    const auto value = util::parse_int(util::trim(token));
+    if (!value || *value < 1) return false;
+    out.push_back(static_cast<std::size_t>(*value));
+  }
+  return true;
+}
+
+bool parse_strategy_list(const char* arg,
+                         std::vector<portfolio::StrategyConfig>& out) {
+  const auto tokens = util::split(arg, ',', /*skip_empty=*/false);
+  if (tokens.empty()) return false;
+  for (const std::string& token : tokens) {
+    const auto kind = portfolio::strategy_from_string(util::trim(token));
+    if (!kind) {
+      std::fprintf(stderr, "unknown strategy: '%s'\n", token.c_str());
+      return false;
+    }
+    portfolio::StrategyConfig config;
+    config.kind = *kind;
+    out.push_back(config);
+  }
+  return true;
+}
+
+/// Parse a numeric flag value in [lo, hi]; rejects trailing garbage.
+std::optional<long long> parse_flag_int(const char* value, long long lo,
+                                        long long hi) {
+  if (value == nullptr) return std::nullopt;
+  const auto parsed = util::parse_int(util::trim(value));
+  if (!parsed || *parsed < lo || *parsed > hi) return std::nullopt;
+  return parsed;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--kings S1,S2,...] [--colors K] "
+               "[--kings-unsat S1,S2,...] [--dimacs graph.col]... [--jobs N] "
+               "[--timeout-ms T] [--strategies dsatur,cdcl,cdcl-pre,tabucol,sa] "
+               "[--seed S] [--schedule strategy|instance] [--csv]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> kings_sides;
+  std::vector<std::size_t> unsat_sides;
+  std::vector<std::string> dimacs_paths;
+  unsigned colors = 4;
+  portfolio::SweepOptions options;
+  std::vector<portfolio::StrategyConfig> strategies;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--kings") == 0) {
+      const char* v = need_value("--kings");
+      if (!v || !parse_size_list(v, kings_sides)) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--kings-unsat") == 0) {
+      const char* v = need_value("--kings-unsat");
+      if (!v || !parse_size_list(v, unsat_sides)) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--colors") == 0) {
+      const auto v = parse_flag_int(need_value("--colors"), 2, 255);
+      if (!v) {
+        std::fprintf(stderr, "--colors must be an integer in [2, 255]\n");
+        return 2;
+      }
+      colors = static_cast<unsigned>(*v);
+    } else if (std::strcmp(argv[i], "--dimacs") == 0) {
+      const char* v = need_value("--dimacs");
+      if (!v) return usage(argv[0]);
+      dimacs_paths.emplace_back(v);
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      const auto v = parse_flag_int(need_value("--jobs"), 1, 4096);
+      if (!v) return usage(argv[0]);
+      options.portfolio.num_workers = static_cast<std::size_t>(*v);
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
+      const auto v = parse_flag_int(need_value("--timeout-ms"), 0,
+                                    std::numeric_limits<long long>::max());
+      if (!v) return usage(argv[0]);
+      options.portfolio.timeout_ms = static_cast<std::uint64_t>(*v);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const auto v = parse_flag_int(need_value("--seed"), 0,
+                                    std::numeric_limits<long long>::max());
+      if (!v) return usage(argv[0]);
+      options.portfolio.master_seed = static_cast<std::uint64_t>(*v);
+    } else if (std::strcmp(argv[i], "--strategies") == 0) {
+      const char* v = need_value("--strategies");
+      if (!v || !parse_strategy_list(v, strategies)) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--schedule") == 0) {
+      const char* v = need_value("--schedule");
+      if (!v) return usage(argv[0]);
+      if (std::strcmp(v, "strategy") == 0) {
+        options.schedule = portfolio::Schedule::kStrategyMajor;
+      } else if (std::strcmp(v, "instance") == 0) {
+        options.schedule = portfolio::Schedule::kInstanceMajor;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else {
+      std::fprintf(stderr, "unrecognized argument: %s\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+  if (!strategies.empty()) options.portfolio.strategies = std::move(strategies);
+  if (kings_sides.empty() && unsat_sides.empty() && dimacs_paths.empty()) {
+    kings_sides = {10, 14, 18, 22, 26, 30};
+  }
+
+  std::vector<portfolio::InstanceSpec> instances;
+  for (const std::size_t side : kings_sides) {
+    instances.push_back(portfolio::kings_instance(side, colors));
+  }
+  for (const std::size_t side : unsat_sides) {
+    instances.push_back(portfolio::kings_instance(side, 3));
+  }
+  for (const std::string& path : dimacs_paths) {
+    try {
+      instances.push_back(portfolio::dimacs_instance(path, colors));
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "error reading %s: %s\n", path.c_str(), ex.what());
+      return 2;
+    }
+  }
+
+  const portfolio::SweepRunner runner(options);
+  const portfolio::SweepResult result = runner.run(instances);
+  const auto table = runner.report(instances, result);
+  std::printf("%s", csv ? table.render_csv().c_str() : table.render().c_str());
+  std::printf(
+      "sweep: %zu/%zu instances decided in %.2f ms (%zu workers, %zu "
+      "strategies, seed %llu)\n",
+      result.decided(), instances.size(), result.wall_ms,
+      options.portfolio.num_workers, options.portfolio.strategies.size(),
+      static_cast<unsigned long long>(options.portfolio.master_seed));
+  return result.decided() == instances.size() ? 0 : 1;
+}

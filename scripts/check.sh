@@ -3,20 +3,41 @@
 # Exits nonzero on the first failure.
 #
 # Usage:
-#   scripts/check.sh                # Release build into build/
-#   MSROPM_SANITIZE=ON scripts/check.sh   # ASan/UBSan build into build-asan/
+#   scripts/check.sh                        # Release build into build/
+#   MSROPM_SANITIZE=ON scripts/check.sh     # ASan/UBSan build into build-asan/
+#   MSROPM_SANITIZE=thread scripts/check.sh # TSan build into build-tsan/
+#   CHECK_TSAN=1 scripts/check.sh           # normal run, then additionally
+#                                           # build build-tsan/ and run the
+#                                           # portfolio + stop-token tests
+#                                           # under ThreadSanitizer
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZE="${MSROPM_SANITIZE:-OFF}"
 BUILD_DIR="build"
-if [ "${SANITIZE}" = "ON" ]; then
-  BUILD_DIR="build-asan"
-fi
+case "${SANITIZE}" in
+  OFF)        ;;
+  ON|address) BUILD_DIR="build-asan" ;;
+  thread)     BUILD_DIR="build-tsan" ;;
+  *)
+    echo "error: MSROPM_SANITIZE must be OFF, ON/address, or thread (got: ${SANITIZE})" >&2
+    exit 2
+    ;;
+esac
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "${BUILD_DIR}" -S . -DMSROPM_SANITIZE="${SANITIZE}"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+# Optional TSan pass over the concurrency-sensitive tests (worker pool,
+# cooperative cancellation, stop-token plumbing).
+if [ "${CHECK_TSAN:-0}" = "1" ] && [ "${SANITIZE}" != "thread" ]; then
+  cmake -B build-tsan -S . -DMSROPM_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}" \
+    --target portfolio_test portfolio_cancel_test util_stop_token_test
+  ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+    -R '^(portfolio_test|portfolio_cancel_test|util_stop_token_test)$'
+fi

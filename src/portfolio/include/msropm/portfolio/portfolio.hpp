@@ -1,0 +1,148 @@
+#pragma once
+// Parallel solver portfolio for K-coloring instances.
+//
+// A portfolio runs several diversified strategies — bounded DSATUR, CDCL
+// with/without presimplify, Tabucol, SA-Potts — against the same instance
+// over a fixed-size worker pool. The first strategy to reach a DEFINITIVE
+// verdict (a verified proper coloring, or a CDCL UNSAT proof) wins and
+// cancels its siblings through the cooperative util::StopToken that is
+// threaded into every solver's inner loop. Strategies that merely exhaust
+// their budget without a proper coloring are inconclusive and do NOT cancel
+// anyone.
+//
+// Determinism contract (see src/portfolio/README.md for the argument):
+//   - With num_workers == 1 and timeout_ms == 0, results are bit-identical
+//     across runs: task order, per-task RNG streams (Rng::split of the master
+//     seed) and budgets are all fixed.
+//   - At any worker count (still timeout_ms == 0), VERDICTS are identical to
+//     the serial run. Winner identity and timings may differ — racing is the
+//     point — but a definitive verdict can never flip, because all verdicts
+//     are sound (colorings are re-verified, UNSAT comes only from the
+//     complete solver) and cancellation is only triggered by definitive
+//     verdicts.
+//   - timeout_ms > 0 introduces wall-clock deadlines and therefore genuine
+//     nondeterminism; use it in services, not in reproducibility tests.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "msropm/graph/coloring.hpp"
+#include "msropm/graph/graph.hpp"
+
+namespace msropm::portfolio {
+
+enum class StrategyKind : std::uint8_t {
+  kDsatur,          ///< bounded DSATUR greedy (deterministic, microseconds)
+  kCdcl,            ///< CDCL on the direct encoding (complete)
+  kCdclPresimplify, ///< CDCL behind the clause-database preprocessor
+  kTabucol,         ///< tabu search (seeded, budgeted)
+  kSaPotts,         ///< simulated annealing (seeded, budgeted)
+};
+
+[[nodiscard]] const char* to_string(StrategyKind kind) noexcept;
+/// Parse "dsatur", "cdcl", "cdcl-pre", "tabucol", "sa"; nullopt otherwise.
+[[nodiscard]] std::optional<StrategyKind> strategy_from_string(
+    std::string_view name) noexcept;
+
+/// One strategy slot of a portfolio. The same kind may appear several times
+/// with different knobs; every slot draws an independent RNG stream from the
+/// master seed, so duplicated slots are automatically seed-diversified.
+struct StrategyConfig {
+  StrategyKind kind = StrategyKind::kDsatur;
+  /// CDCL: give up after this many conflicts (0 = run to completion).
+  std::uint64_t conflict_limit = 0;
+  /// Tabucol: iteration budget.
+  std::size_t tabu_iterations = 50000;
+  /// Tabucol: base tabu tenure.
+  std::size_t tabu_tenure = 7;
+  /// SA-Potts: sweep budget and starting temperature.
+  std::size_t sa_sweeps = 400;
+  double sa_t_start = 2.0;
+};
+
+/// The default lineup: one slot per strategy kind, cheapest first. The order
+/// doubles as the queue order of the strategy-major sweep schedule, so the
+/// near-free DSATUR probe screens every instance before the heavyweights run.
+[[nodiscard]] std::vector<StrategyConfig> default_strategies();
+
+enum class Verdict : std::uint8_t {
+  kColored,  ///< verified proper num_colors-coloring found
+  kUnsat,    ///< CDCL proved no such coloring exists
+  kUnknown,  ///< every strategy exhausted its budget or was cancelled
+};
+
+[[nodiscard]] const char* to_string(Verdict verdict) noexcept;
+
+/// What one strategy slot did on one instance.
+struct StrategyOutcome {
+  /// Sentinel for conflicts: the strategy produced no coloring to grade
+  /// (CDCL without a model, skipped, or cancelled before it started).
+  static constexpr std::size_t kNoColoring = ~std::size_t{0};
+
+  StrategyKind kind = StrategyKind::kDsatur;
+  Verdict verdict = Verdict::kUnknown;
+  bool ran = false;        ///< false = skipped (instance already decided)
+  bool cancelled = false;  ///< stop token fired mid-run
+  std::size_t conflicts = kNoColoring;  ///< conflicts of the returned coloring
+  double millis = 0.0;                  ///< wall time of this strategy run
+  std::string error;  ///< non-empty when the strategy threw (counts unknown)
+};
+
+/// Portfolio result for one instance.
+struct PortfolioResult {
+  Verdict verdict = Verdict::kUnknown;
+  std::optional<graph::Coloring> coloring;  ///< set when verdict == kColored
+  int winner = -1;      ///< index into PortfolioOptions::strategies, -1 = none
+  double millis = 0.0;  ///< wall time from engine start to this verdict
+  std::vector<StrategyOutcome> outcomes;  ///< one per strategy slot
+};
+
+/// Order in which a batch of instances x strategies is fed to the pool.
+enum class Schedule : std::uint8_t {
+  /// Screening pipeline: one wave per strategy slot (all instances), with a
+  /// barrier between waves. With the default cheapest-first lineup the cheap
+  /// probes decide most instances before any heavyweight starts, so later
+  /// tasks are skipped, not raced-and-cancelled. This is the fast choice for
+  /// sweeps.
+  kStrategyMajor,
+  /// All strategies of instance 0 first, then instance 1, ... Maximizes
+  /// intra-instance racing (and therefore cancellation); what
+  /// solve_portfolio uses, and what the cancellation stress test hammers.
+  kInstanceMajor,
+};
+
+struct PortfolioOptions {
+  std::vector<StrategyConfig> strategies = default_strategies();
+  /// Worker threads draining the task queue. 1 = run inline on the calling
+  /// thread (fully deterministic, no threads spawned).
+  std::size_t num_workers = 1;
+  /// Master seed; per-task RNGs are Rng(master).split(task_stream_id).
+  std::uint64_t master_seed = 1;
+  /// Wall-clock cap per strategy attempt, 0 = none. Nondeterministic by
+  /// nature (see determinism contract above).
+  std::uint64_t timeout_ms = 0;
+};
+
+/// One instance of a batch: a graph plus the palette size to decide.
+struct PortfolioJob {
+  const graph::Graph* graph = nullptr;
+  unsigned num_colors = 4;
+};
+
+/// Run the portfolio over a batch of instances on one shared worker pool.
+/// Returns one PortfolioResult per job, in job order. Throws
+/// std::invalid_argument on an empty strategy list, a null graph, or
+/// num_colors outside [2, 255].
+[[nodiscard]] std::vector<PortfolioResult> run_portfolio_batch(
+    const std::vector<PortfolioJob>& jobs, const PortfolioOptions& options,
+    Schedule schedule = Schedule::kStrategyMajor);
+
+/// Single-instance convenience wrapper: all strategies race (instance-major).
+[[nodiscard]] PortfolioResult solve_portfolio(const graph::Graph& g,
+                                              unsigned num_colors,
+                                              const PortfolioOptions& options = {});
+
+}  // namespace msropm::portfolio

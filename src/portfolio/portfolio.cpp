@@ -1,0 +1,324 @@
+#include "msropm/portfolio/portfolio.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "msropm/sat/coloring_encoder.hpp"
+#include "msropm/solvers/dsatur.hpp"
+#include "msropm/solvers/sa_potts.hpp"
+#include "msropm/solvers/tabucol.hpp"
+#include "msropm/util/rng.hpp"
+#include "msropm/util/stop_token.hpp"
+
+namespace msropm::portfolio {
+
+const char* to_string(StrategyKind kind) noexcept {
+  switch (kind) {
+    case StrategyKind::kDsatur:
+      return "dsatur";
+    case StrategyKind::kCdcl:
+      return "cdcl";
+    case StrategyKind::kCdclPresimplify:
+      return "cdcl-pre";
+    case StrategyKind::kTabucol:
+      return "tabucol";
+    case StrategyKind::kSaPotts:
+      return "sa";
+  }
+  return "?";
+}
+
+std::optional<StrategyKind> strategy_from_string(std::string_view name) noexcept {
+  if (name == "dsatur") return StrategyKind::kDsatur;
+  if (name == "cdcl") return StrategyKind::kCdcl;
+  if (name == "cdcl-pre") return StrategyKind::kCdclPresimplify;
+  if (name == "tabucol") return StrategyKind::kTabucol;
+  if (name == "sa") return StrategyKind::kSaPotts;
+  return std::nullopt;
+}
+
+const char* to_string(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kColored:
+      return "colored";
+    case Verdict::kUnsat:
+      return "UNSAT";
+    case Verdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+std::vector<StrategyConfig> default_strategies() {
+  std::vector<StrategyConfig> strategies(5);
+  strategies[0].kind = StrategyKind::kDsatur;
+  strategies[1].kind = StrategyKind::kCdcl;
+  strategies[2].kind = StrategyKind::kCdclPresimplify;
+  strategies[3].kind = StrategyKind::kTabucol;
+  strategies[4].kind = StrategyKind::kSaPotts;
+  return strategies;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double millis_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Raw result of one strategy attempt, before the engine arbitrates.
+struct StrategyRun {
+  Verdict verdict = Verdict::kUnknown;
+  graph::Coloring coloring;  ///< valid when verdict == kColored
+  std::size_t conflicts = StrategyOutcome::kNoColoring;
+  bool cancelled = false;
+  std::string error;
+};
+
+/// Accept a heuristic/decoded coloring only after re-verifying it, so a
+/// buggy or raced strategy can never publish a definitive verdict that is
+/// wrong (part of the verdict-identity argument). One O(E) conflict scan
+/// plus the O(V) palette-bound check.
+void accept_if_proper(const graph::Graph& g, unsigned num_colors,
+                      graph::Coloring&& colors, StrategyRun& run) {
+  run.conflicts = graph::count_conflicts(g, colors);
+  if (run.conflicts != 0) return;
+  for (const graph::Color color : colors) {
+    if (color >= num_colors) return;
+  }
+  run.verdict = Verdict::kColored;
+  run.coloring = std::move(colors);
+}
+
+StrategyRun run_cdcl(const graph::Graph& g, unsigned num_colors,
+                     const StrategyConfig& config, bool presimplify,
+                     const util::StopToken& token) {
+  StrategyRun run;
+  if (token.stop_requested()) {  // encoding is not cancellable; skip it whole
+    run.cancelled = true;
+    return run;
+  }
+  const auto encoding = sat::encode_coloring(g, num_colors);
+  sat::SolverOptions options = sat::exact_coloring_solver_options();
+  options.presimplify = presimplify;
+  options.conflict_limit = config.conflict_limit;
+  options.stop = token;
+  sat::Solver solver(encoding.cnf, options);
+  const sat::SolveResult result = solver.solve();
+  run.cancelled = solver.cancelled();
+  if (result == sat::SolveResult::kSat) {
+    accept_if_proper(g, num_colors, encoding.decode(solver.model()), run);
+  } else if (result == sat::SolveResult::kUnsat) {
+    run.verdict = Verdict::kUnsat;
+  }
+  return run;
+}
+
+StrategyRun run_strategy(const graph::Graph& g, unsigned num_colors,
+                         const StrategyConfig& config,
+                         const util::StopToken& token, util::Rng& rng) {
+  StrategyRun run;
+  switch (config.kind) {
+    case StrategyKind::kDsatur: {
+      auto result = solvers::solve_dsatur_bounded(g, num_colors);
+      accept_if_proper(g, num_colors, std::move(result.colors), run);
+      return run;
+    }
+    case StrategyKind::kCdcl:
+      return run_cdcl(g, num_colors, config, /*presimplify=*/false, token);
+    case StrategyKind::kCdclPresimplify:
+      return run_cdcl(g, num_colors, config, /*presimplify=*/true, token);
+    case StrategyKind::kTabucol: {
+      solvers::TabucolOptions options;
+      options.num_colors = num_colors;
+      options.max_iterations = config.tabu_iterations;
+      options.base_tenure = config.tabu_tenure;
+      options.stop = token;
+      auto result = solvers::solve_tabucol(g, options, rng);
+      run.cancelled = result.cancelled;
+      accept_if_proper(g, num_colors, std::move(result.colors), run);
+      return run;
+    }
+    case StrategyKind::kSaPotts: {
+      solvers::SaPottsOptions options;
+      options.num_colors = num_colors;
+      options.sweeps = config.sa_sweeps;
+      options.t_start = config.sa_t_start;
+      options.stop = token;
+      auto result = solvers::solve_sa_potts(g, options, rng);
+      run.cancelled = result.cancelled;
+      accept_if_proper(g, num_colors, std::move(result.colors), run);
+      return run;
+    }
+  }
+  return run;
+}
+
+/// Per-instance shared state: the result under construction, the decided
+/// latch, and the StopSource whose tokens all of the instance's tasks carry.
+struct InstanceState {
+  std::mutex mu;
+  util::StopSource stop;
+  bool decided = false;
+  PortfolioResult result;
+};
+
+}  // namespace
+
+std::vector<PortfolioResult> run_portfolio_batch(
+    const std::vector<PortfolioJob>& jobs, const PortfolioOptions& options,
+    Schedule schedule) {
+  if (options.strategies.empty()) {
+    throw std::invalid_argument("portfolio: strategy list is empty");
+  }
+  for (const PortfolioJob& job : jobs) {
+    if (job.graph == nullptr) {
+      throw std::invalid_argument("portfolio: null graph in job list");
+    }
+    if (job.num_colors < 2 || job.num_colors > 255) {
+      throw std::invalid_argument("portfolio: num_colors must be in [2, 255]");
+    }
+  }
+
+  const std::size_t num_strategies = options.strategies.size();
+  std::vector<InstanceState> states(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    states[i].result.outcomes.resize(num_strategies);
+    for (std::size_t s = 0; s < num_strategies; ++s) {
+      states[i].result.outcomes[s].kind = options.strategies[s].kind;
+    }
+  }
+
+  const Clock::time_point engine_start = Clock::now();
+  const util::Rng master(options.master_seed);
+
+  const auto run_task = [&](std::size_t i, std::size_t s) {
+    InstanceState& state = states[i];
+    const StrategyConfig& config = options.strategies[s];
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (state.decided) return;  // outcome stays ran == false (skipped)
+    }
+    // Cap the deadline arithmetic: steady_clock counts nanoseconds in an
+    // int64, so an "effectively infinite" timeout_ms would overflow the
+    // addition and wrap the deadline into the past. A year is indistinguishable
+    // from forever for a solver attempt.
+    constexpr std::uint64_t kMaxTimeoutMs = 365ull * 24 * 60 * 60 * 1000;
+    util::StopToken token =
+        options.timeout_ms > 0
+            ? state.stop.token_with_deadline(
+                  Clock::now() + std::chrono::milliseconds(std::min(
+                                     options.timeout_ms, kMaxTimeoutMs)))
+            : state.stop.token();
+    // Stream id = task position in the instance-major grid: stable across
+    // schedules and worker counts, so every task sees the same RNG stream.
+    util::Rng rng = master.split(i * num_strategies + s);
+    const Clock::time_point task_start = Clock::now();
+    StrategyRun run;
+    try {
+      run = run_strategy(*jobs[i].graph, jobs[i].num_colors, config, token, rng);
+    } catch (const std::exception& ex) {
+      // Count as inconclusive, never kill the pool — but keep the reason so
+      // a real defect or OOM is distinguishable from an ordinary exhausted
+      // budget in the outcome record.
+      run = StrategyRun{};
+      run.error = ex.what();
+    } catch (...) {
+      run = StrategyRun{};
+      run.error = "unknown exception";
+    }
+    const double task_millis = millis_since(task_start);
+
+    std::lock_guard<std::mutex> lock(state.mu);
+    StrategyOutcome& outcome = state.result.outcomes[s];
+    outcome.ran = true;
+    outcome.verdict = run.verdict;
+    outcome.cancelled = run.cancelled;
+    outcome.conflicts = run.conflicts;
+    outcome.millis = task_millis;
+    outcome.error = std::move(run.error);
+    if (!state.decided && run.verdict != Verdict::kUnknown) {
+      state.decided = true;
+      state.result.verdict = run.verdict;
+      state.result.winner = static_cast<int>(s);
+      state.result.millis = millis_since(engine_start);
+      if (run.verdict == Verdict::kColored) {
+        state.result.coloring = std::move(run.coloring);
+      }
+      state.stop.request_stop();  // cancel sibling strategies cooperatively
+    }
+  };
+
+  // Drain one fixed task list through an atomic cursor: the 1-worker run is
+  // exactly the sequential execution of the list, and multi-worker runs pop
+  // the same order.
+  const auto drain = [&](const std::vector<std::pair<std::size_t, std::size_t>>&
+                             tasks) {
+    std::atomic<std::size_t> cursor{0};
+    const auto worker = [&]() {
+      for (;;) {
+        const std::size_t t = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (t >= tasks.size()) return;
+        run_task(tasks[t].first, tasks[t].second);
+      }
+    };
+    if (options.num_workers <= 1) {
+      worker();  // inline: no threads, bit-deterministic
+    } else {
+      std::vector<std::thread> pool;
+      const std::size_t spawned = std::min(options.num_workers, tasks.size());
+      pool.reserve(spawned);
+      for (std::size_t w = 0; w < spawned; ++w) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+    }
+  };
+
+  std::vector<std::pair<std::size_t, std::size_t>> tasks;
+  tasks.reserve(jobs.size());
+  if (schedule == Schedule::kStrategyMajor) {
+    // Screening pipeline: one wave per strategy slot, with a barrier between
+    // waves. The barrier is what makes the cheap-probe-first lineup pay off:
+    // a heavyweight slot never starts while an earlier, cheaper slot of the
+    // same instance is still running, so an instance the probe decides costs
+    // exactly one probe — later slots are skipped, not raced and cancelled.
+    // (Without the barrier, workers spill into the next wave right when the
+    // largest probes are finishing and burn doomed duplicate work on them.)
+    for (std::size_t s = 0; s < num_strategies; ++s) {
+      tasks.clear();
+      for (std::size_t i = 0; i < jobs.size(); ++i) tasks.emplace_back(i, s);
+      drain(tasks);
+    }
+  } else {
+    // Racing: all strategies of an instance are in flight together and the
+    // first definitive verdict cancels the rest mid-run via the stop token.
+    tasks.reserve(jobs.size() * num_strategies);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      for (std::size_t s = 0; s < num_strategies; ++s) tasks.emplace_back(i, s);
+    }
+    drain(tasks);
+  }
+
+  std::vector<PortfolioResult> results;
+  results.reserve(jobs.size());
+  for (InstanceState& state : states) {
+    results.push_back(std::move(state.result));
+  }
+  return results;
+}
+
+PortfolioResult solve_portfolio(const graph::Graph& g, unsigned num_colors,
+                                const PortfolioOptions& options) {
+  std::vector<PortfolioJob> jobs(1);
+  jobs[0].graph = &g;
+  jobs[0].num_colors = num_colors;
+  auto results = run_portfolio_batch(jobs, options, Schedule::kInstanceMajor);
+  return std::move(results[0]);
+}
+
+}  // namespace msropm::portfolio

@@ -1,0 +1,94 @@
+#include "msropm/portfolio/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "msropm/graph/builders.hpp"
+#include "msropm/graph/io.hpp"
+
+namespace msropm::portfolio {
+
+InstanceSpec kings_instance(std::size_t side, unsigned num_colors) {
+  InstanceSpec spec;
+  spec.name = "kings_" + std::to_string(side) + "x" + std::to_string(side) +
+              "_K" + std::to_string(num_colors);
+  spec.graph = graph::kings_graph_square(side);
+  spec.num_colors = num_colors;
+  return spec;
+}
+
+InstanceSpec dimacs_instance(const std::string& path, unsigned num_colors) {
+  InstanceSpec spec;
+  spec.name = path;
+  spec.graph = graph::read_dimacs_file(path);
+  spec.num_colors = num_colors;
+  return spec;
+}
+
+std::size_t SweepResult::decided() const noexcept {
+  std::size_t count = 0;
+  for (const PortfolioResult& r : instances) {
+    if (r.verdict != Verdict::kUnknown) ++count;
+  }
+  return count;
+}
+
+SweepResult SweepRunner::run(const std::vector<InstanceSpec>& instances) const {
+  std::vector<PortfolioJob> jobs(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    jobs[i].graph = &instances[i].graph;
+    jobs[i].num_colors = instances[i].num_colors;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  SweepResult result;
+  result.instances =
+      run_portfolio_batch(jobs, options_.portfolio, options_.schedule);
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return result;
+}
+
+util::TextTable SweepRunner::report(const std::vector<InstanceSpec>& instances,
+                                    const SweepResult& result) const {
+  util::TextTable table({"instance", "nodes", "edges", "K", "verdict", "winner",
+                         "t_verdict_ms", "quality"});
+  for (std::size_t i = 0; i < result.instances.size(); ++i) {
+    const PortfolioResult& r = result.instances[i];
+    const InstanceSpec& spec = instances[i];
+    std::string winner = "-";
+    if (r.winner >= 0) {
+      winner = to_string(
+          options_.portfolio.strategies[static_cast<std::size_t>(r.winner)].kind);
+    }
+    // Quality = the paper's accuracy metric of the best coloring any strategy
+    // produced: 1 - min_conflicts / edges. A decided-colorable instance is
+    // 1.0 by construction; UNSAT instances have no coloring to grade.
+    std::string quality = "-";
+    if (r.verdict == Verdict::kColored) {
+      quality = util::format_double(1.0, 4);
+    } else if (r.verdict == Verdict::kUnknown && spec.graph.num_edges() > 0) {
+      std::size_t best_conflicts = StrategyOutcome::kNoColoring;
+      for (const StrategyOutcome& o : r.outcomes) {
+        // Only grade outcomes that actually produced a coloring; a CDCL
+        // attempt that timed out has no coloring, not a perfect one.
+        if (o.ran && o.conflicts != StrategyOutcome::kNoColoring) {
+          best_conflicts = std::min(best_conflicts, o.conflicts);
+        }
+      }
+      if (best_conflicts != StrategyOutcome::kNoColoring) {
+        quality = util::format_double(
+            1.0 - static_cast<double>(best_conflicts) /
+                      static_cast<double>(spec.graph.num_edges()),
+            4);
+      }
+    }
+    table.add_row({spec.name, std::to_string(spec.graph.num_nodes()),
+                   std::to_string(spec.graph.num_edges()),
+                   std::to_string(spec.num_colors), to_string(r.verdict), winner,
+                   util::format_double(r.millis, 2), quality});
+  }
+  return table;
+}
+
+}  // namespace msropm::portfolio

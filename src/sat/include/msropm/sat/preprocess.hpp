@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "msropm/sat/cnf.hpp"
+#include "msropm/util/stop_token.hpp"
 
 namespace msropm::sat {
 
@@ -38,6 +39,10 @@ struct PreprocessOptions {
   std::size_t occurrence_scan_limit = 4096;
   /// Maximum simplification rounds (each round runs every enabled technique).
   std::size_t max_rounds = 12;
+  /// Cooperative cancellation, polled between technique passes. Every pass
+  /// leaves the formula equisatisfiable, so an interrupted run still returns
+  /// a sound (just less simplified) result.
+  util::StopToken stop = {};
 };
 
 struct PreprocessStats {

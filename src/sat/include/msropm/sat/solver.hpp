@@ -14,6 +14,7 @@
 
 #include "msropm/sat/cnf.hpp"
 #include "msropm/sat/preprocess.hpp"
+#include "msropm/util/stop_token.hpp"
 
 namespace msropm::sat {
 
@@ -45,6 +46,12 @@ struct SolverOptions {
   bool presimplify = false;
   /// Technique selection and caps for presimplify.
   PreprocessOptions preprocess = {};
+  /// Cooperative cancellation: polled during clause ingestion and every few
+  /// dozen decisions/conflicts of the search. When it fires, solve() returns
+  /// kUnknown and cancelled() turns true. The default token never fires.
+  /// When presimplify is set the token is also forwarded to the preprocessor
+  /// (unless preprocess.stop already carries one).
+  util::StopToken stop = {};
 };
 
 /// Single-shot CDCL solver: construct, call solve() exactly once, read
@@ -74,6 +81,10 @@ class Solver {
   }
 
   [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
+
+  /// True when options.stop interrupted construction or search; the
+  /// corresponding solve() returned (or will return) kUnknown.
+  [[nodiscard]] bool cancelled() const noexcept { return cancelled_; }
 
   /// Preprocessing breakdown; engaged only when options.presimplify was set.
   [[nodiscard]] const std::optional<PreprocessStats>& preprocess_stats()
@@ -137,6 +148,7 @@ class Solver {
   std::vector<std::uint32_t> learnt_indices_;
   bool ok_ = true;          // false once a top-level conflict is derived
   bool solve_started_ = false;  // enforces the single-shot contract
+  bool cancelled_ = false;      // options_.stop fired; clause DB may be partial
   SolverOptions options_;
   SolverStats stats_;
   std::vector<std::uint8_t> model_;

@@ -471,20 +471,29 @@ PreprocessResult Preprocessor::run() {
   const auto t0 = std::chrono::steady_clock::now();
   PreprocessResult result;
 
-  while (!unsat_ && stats_.rounds < options_.max_rounds) {
+  // Cancellation is polled between passes: every pass leaves the formula
+  // equisatisfiable with a consistent Remapper stack, so stopping here is
+  // always sound — the caller just gets a less simplified formula.
+  const auto stopped = [this]() { return options_.stop.stop_requested(); };
+  while (!unsat_ && stats_.rounds < options_.max_rounds && !stopped()) {
     ++stats_.rounds;
     bool changed = false;
     if (options_.unit_propagation) changed |= propagate_units();
-    if (!unsat_ && options_.pure_literals) changed |= eliminate_pure_literals();
+    if (!unsat_ && options_.pure_literals && !stopped()) {
+      changed |= eliminate_pure_literals();
+    }
     // BCE first: on structured encodings it removes whole clause families
     // (e.g. at-most-one ladders), which shrinks every occurrence list the
     // quadratic subsumption and BVE scans walk afterwards.
-    if (!unsat_ && options_.blocked_clauses) changed |= blocked_clause_pass();
-    if (!unsat_ && (options_.subsumption || options_.self_subsumption)) {
+    if (!unsat_ && options_.blocked_clauses && !stopped()) {
+      changed |= blocked_clause_pass();
+    }
+    if (!unsat_ && (options_.subsumption || options_.self_subsumption) &&
+        !stopped()) {
       changed |= subsumption_pass();
       if (options_.unit_propagation) changed |= propagate_units();
     }
-    if (!unsat_ && options_.variable_elimination) {
+    if (!unsat_ && options_.variable_elimination && !stopped()) {
       changed |= variable_elimination_pass();
       if (options_.unit_propagation) changed |= propagate_units();
     }

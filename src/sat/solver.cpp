@@ -8,12 +8,23 @@ namespace msropm::sat {
 
 Solver::Solver(const Cnf& cnf, SolverOptions options) : options_(options) {
   if (options_.presimplify) {
+    if (!options_.preprocess.stop.stop_possible()) {
+      options_.preprocess.stop = options_.stop;
+    }
     PreprocessResult pre = preprocess(cnf, options_.preprocess);
     preprocess_stats_ = pre.stats;
     remapper_ = std::move(pre.remapper);
     if (pre.unsat) {
       setup_arrays(0);
       ok_ = false;
+      return;
+    }
+    if (options_.stop.stop_requested()) {
+      // Cancelled during preprocessing: skip ingestion entirely. A partial
+      // simplification is equisatisfiable, but solve() will report kUnknown
+      // anyway, so building the watch lists would be wasted work.
+      setup_arrays(0);
+      cancelled_ = true;
       return;
     }
     // Preprocessor output is normalized; move its clauses straight in.
@@ -64,7 +75,14 @@ void Solver::ingest_clause(Clause&& lits, bool normalized) {
 void Solver::init_from(const Cnf& cnf) {
   setup_arrays(cnf.num_vars());
   clauses_.reserve(cnf.num_clauses());
+  std::size_t ingested = 0;
   for (const Clause& c : cnf.clauses()) {
+    if ((ingested++ & 2047) == 0 && options_.stop.stop_requested()) {
+      // Partial clause DB: any UNSAT already derived (ok_ == false) is sound
+      // for the full formula, but SAT is not — solve() returns kUnknown.
+      cancelled_ = true;
+      return;
+    }
     ingest_clause(Clause(c), /*normalized=*/false);
     if (!ok_) return;
   }
@@ -74,7 +92,12 @@ void Solver::init_from_normalized(std::size_t num_vars,
                                   std::vector<Clause>&& clauses) {
   setup_arrays(num_vars);
   clauses_.reserve(clauses.size());
+  std::size_t ingested = 0;
   for (Clause& c : clauses) {
+    if ((ingested++ & 2047) == 0 && options_.stop.stop_requested()) {
+      cancelled_ = true;
+      return;
+    }
     ingest_clause(std::move(c), /*normalized=*/true);
     if (!ok_) return;
   }
@@ -357,7 +380,13 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
         "assumed variables may have been fixed or eliminated)");
   }
   solve_started_ = true;
+  // An empty clause derived from any prefix of the formula refutes the whole
+  // formula, so a top-level conflict outranks cancellation.
   if (!ok_) return SolveResult::kUnsat;
+  if (cancelled_ || options_.stop.stop_requested()) {
+    cancelled_ = true;
+    return SolveResult::kUnknown;
+  }
   if (propagate() != kNoReason) {
     ok_ = false;
     return SolveResult::kUnsat;
@@ -405,8 +434,16 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
           stats_.conflicts >= options_.conflict_limit) {
         return SolveResult::kUnknown;
       }
+      if ((stats_.conflicts & 255) == 0 && options_.stop.stop_requested()) {
+        cancelled_ = true;
+        return SolveResult::kUnknown;
+      }
       if (conflicts_until_restart > 0) --conflicts_until_restart;
     } else {
+      if ((stats_.decisions & 127) == 0 && options_.stop.stop_requested()) {
+        cancelled_ = true;
+        return SolveResult::kUnknown;
+      }
       if (conflicts_until_restart == 0) {
         ++stats_.restarts;
         backtrack(0);

@@ -12,6 +12,7 @@
 #include "msropm/graph/coloring.hpp"
 #include "msropm/graph/graph.hpp"
 #include "msropm/util/rng.hpp"
+#include "msropm/util/stop_token.hpp"
 
 namespace msropm::solvers {
 
@@ -21,6 +22,10 @@ struct SaPottsOptions {
   double t_end = 0.02;         ///< final temperature
   std::size_t sweeps = 400;    ///< full-lattice sweeps
   bool greedy_finish = true;   ///< zero-temperature polish pass at the end
+  /// Cooperative cancellation, polled every 256 proposed moves; when it
+  /// fires the anneal stops (the greedy polish is skipped) and the current
+  /// assignment is returned with cancelled set.
+  util::StopToken stop = {};
 };
 
 struct SaPottsResult {
@@ -28,6 +33,7 @@ struct SaPottsResult {
   std::size_t conflicts = 0;
   std::size_t accepted_moves = 0;
   std::size_t proposed_moves = 0;
+  bool cancelled = false;  ///< options.stop interrupted the anneal
 };
 
 /// Anneal from a random assignment.

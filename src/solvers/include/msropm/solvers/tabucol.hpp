@@ -11,6 +11,7 @@
 #include "msropm/graph/coloring.hpp"
 #include "msropm/graph/graph.hpp"
 #include "msropm/util/rng.hpp"
+#include "msropm/util/stop_token.hpp"
 
 namespace msropm::solvers {
 
@@ -20,12 +21,16 @@ struct TabucolOptions {
   std::size_t base_tenure = 7;
   double tenure_slope = 0.6;   ///< dynamic tenure: base + slope * conflicts
   bool stop_at_proper = true;  ///< stop early once conflict-free
+  /// Cooperative cancellation, polled every 64 iterations; when it fires the
+  /// search returns the best coloring found so far with cancelled set.
+  util::StopToken stop = {};
 };
 
 struct TabucolResult {
   graph::Coloring colors;
   std::size_t conflicts = 0;
   std::size_t iterations_used = 0;
+  bool cancelled = false;  ///< options.stop interrupted the search
 };
 
 [[nodiscard]] TabucolResult solve_tabucol(const graph::Graph& g,

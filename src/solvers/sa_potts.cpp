@@ -52,8 +52,13 @@ SaPottsResult solve_sa_potts_from(const graph::Graph& g, graph::Coloring colors,
           : 1.0;
 
   double temperature = options.t_start;
-  for (std::size_t sweep = 0; sweep < options.sweeps; ++sweep) {
+  for (std::size_t sweep = 0; sweep < options.sweeps && !result.cancelled;
+       ++sweep) {
     for (std::size_t step = 0; step < n; ++step) {
+      if ((step & 255) == 0 && options.stop.stop_requested()) {
+        result.cancelled = true;
+        break;
+      }
       const auto u = static_cast<graph::NodeId>(rng.uniform_index(n));
       const auto old_color = colors[u];
       auto new_color = static_cast<graph::Color>(
@@ -72,7 +77,7 @@ SaPottsResult solve_sa_potts_from(const graph::Graph& g, graph::Coloring colors,
     temperature *= cooling;
   }
 
-  if (options.greedy_finish) {
+  if (options.greedy_finish && !result.cancelled) {
     // Zero-temperature polish: move each node to its least-conflicting color.
     bool improved = true;
     std::size_t rounds = 0;

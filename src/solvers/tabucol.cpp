@@ -42,6 +42,10 @@ TabucolResult solve_tabucol(const graph::Graph& g, const TabucolOptions& options
 
   for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
     if (best_conflicts == 0 && options.stop_at_proper) break;
+    if (((iter - 1) & 63) == 0 && options.stop.stop_requested()) {
+      result.cancelled = true;
+      break;
+    }
     // Collect conflicted nodes.
     long best_delta = std::numeric_limits<long>::max();
     graph::NodeId best_node = 0;

@@ -69,7 +69,15 @@ class Rng {
   }
 
   /// Derive an independent child generator (for per-iteration streams).
+  /// Advances this generator by one draw.
   [[nodiscard]] Rng split() noexcept;
+
+  /// Derive the child generator for a numbered stream WITHOUT advancing this
+  /// generator: split(i) is a pure function of (current state, i), so a
+  /// master Rng seeded once can hand reproducible, decorrelated streams to
+  /// any number of workers in any call order. This is how the portfolio
+  /// derives per-(instance, strategy) RNGs from one master seed.
+  [[nodiscard]] Rng split(std::uint64_t stream_id) const noexcept;
 
   /// Expose state for checkpoint tests.
   [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept { return s_; }

@@ -1,0 +1,93 @@
+#pragma once
+// Cooperative cancellation for long-running solver loops.
+//
+// A StopSource owns a shared stop flag; StopToken is the cheap, copyable
+// observer handed into solver inner loops (sat::Solver, solve_tabucol,
+// solve_sa_potts), which poll stop_requested() every few dozen iterations and
+// return their best partial result when it fires. A default-constructed token
+// is inert (never stops), so every solver entry point takes one as an
+// optional options field with zero overhead for callers that do not cancel.
+//
+// Tokens can additionally carry a wall-clock deadline (token_with_deadline),
+// which is how the portfolio's per-strategy --timeout-ms is implemented: the
+// shared flag delivers sibling cancellation ("another strategy already won"),
+// the deadline delivers the timeout, and the solver polls both through the
+// same stop_requested() call. Deadlines are inherently wall-clock, so runs
+// that rely on them are NOT bit-reproducible; the portfolio's determinism
+// contract (see src/portfolio/README.md) only covers deadline-free runs.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace msropm::util {
+
+class StopSource;
+
+/// Observer half of a StopSource (plus an optional deadline of its own).
+/// Copyable and cheap; safe to poll concurrently from many threads.
+class StopToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Inert token: stop_requested() is always false.
+  StopToken() = default;
+
+  /// Token with no shared flag that trips once `deadline` passes.
+  [[nodiscard]] static StopToken at_deadline(Clock::time_point deadline) noexcept {
+    StopToken t;
+    t.deadline_ = deadline;
+    t.has_deadline_ = true;
+    return t;
+  }
+
+  /// True when this token can ever report a stop (flag or deadline attached).
+  [[nodiscard]] bool stop_possible() const noexcept {
+    return flag_ != nullptr || has_deadline_;
+  }
+
+  /// True once the owning source requested a stop or the deadline passed.
+  [[nodiscard]] bool stop_requested() const noexcept {
+    if (flag_ && flag_->load(std::memory_order_acquire)) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+ private:
+  friend class StopSource;
+  std::shared_ptr<const std::atomic<bool>> flag_;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+/// Owner of the stop flag. request_stop() is idempotent and thread-safe; all
+/// tokens minted from this source observe it.
+class StopSource {
+ public:
+  StopSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_stop() noexcept { flag_->store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] StopToken token() const noexcept {
+    StopToken t;
+    t.flag_ = flag_;
+    return t;
+  }
+
+  /// Token that trips on request_stop() OR once `deadline` passes.
+  [[nodiscard]] StopToken token_with_deadline(
+      StopToken::Clock::time_point deadline) const noexcept {
+    StopToken t = token();
+    t.deadline_ = deadline;
+    t.has_deadline_ = true;
+    return t;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace msropm::util

@@ -101,4 +101,17 @@ Rng Rng::split() noexcept {
   return Rng{(*this)() ^ 0xd1b54a32d192ed03ull};
 }
 
+Rng Rng::split(std::uint64_t stream_id) const noexcept {
+  // Hash (state, stream_id) down to a child seed through three splitmix64
+  // steps; the Rng constructor re-expands it into a full 256-bit state. The
+  // parent is untouched, so stream derivation commutes with parent draws.
+  std::uint64_t x = stream_id + 0x9e3779b97f4a7c15ull;
+  std::uint64_t h = splitmix64(x);
+  x = h ^ s_[0] ^ rotl(s_[1], 17);
+  h = splitmix64(x);
+  x = h ^ s_[2] ^ rotl(s_[3], 29);
+  h = splitmix64(x);
+  return Rng{h};
+}
+
 }  // namespace msropm::util

@@ -1,0 +1,226 @@
+// Tests for the solver portfolio and the batch sweep engine: strategy
+// plumbing, fixed-seed determinism, verdict identity across worker counts,
+// UNSAT proofs, timeouts, and the report table.
+#include "msropm/portfolio/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "msropm/graph/builders.hpp"
+#include "msropm/graph/coloring.hpp"
+#include "msropm/portfolio/sweep.hpp"
+
+namespace {
+
+using namespace msropm;
+using portfolio::PortfolioOptions;
+using portfolio::PortfolioResult;
+using portfolio::Schedule;
+using portfolio::StrategyKind;
+using portfolio::Verdict;
+
+std::vector<portfolio::InstanceSpec> small_grid() {
+  std::vector<portfolio::InstanceSpec> instances;
+  for (const std::size_t side : {5, 7, 9, 11}) {
+    instances.push_back(portfolio::kings_instance(side, 4));
+  }
+  for (const std::size_t side : {4, 6, 8}) {
+    instances.push_back(portfolio::kings_instance(side, 3));  // UNSAT
+  }
+  return instances;
+}
+
+TEST(Portfolio, StrategyNamesRoundTrip) {
+  for (const auto kind :
+       {StrategyKind::kDsatur, StrategyKind::kCdcl,
+        StrategyKind::kCdclPresimplify, StrategyKind::kTabucol,
+        StrategyKind::kSaPotts}) {
+    const auto parsed = portfolio::strategy_from_string(portfolio::to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(portfolio::strategy_from_string("minisat").has_value());
+}
+
+TEST(Portfolio, DefaultLineupCoversEveryKindCheapestFirst) {
+  const auto strategies = portfolio::default_strategies();
+  ASSERT_EQ(strategies.size(), 5u);
+  EXPECT_EQ(strategies.front().kind, StrategyKind::kDsatur);
+}
+
+TEST(Portfolio, SolvesSatisfiableInstance) {
+  const auto g = graph::kings_graph_square(8);
+  const PortfolioResult result = portfolio::solve_portfolio(g, 4);
+  EXPECT_EQ(result.verdict, Verdict::kColored);
+  ASSERT_TRUE(result.coloring.has_value());
+  EXPECT_TRUE(graph::is_proper_coloring(g, *result.coloring, 4));
+  ASSERT_GE(result.winner, 0);
+  EXPECT_LT(result.winner, 5);
+}
+
+TEST(Portfolio, ProvesUnsatInstance) {
+  // King's graphs contain 4-cliques: no 3-coloring exists, and only the
+  // CDCL strategies can prove that.
+  const auto g = graph::kings_graph_square(6);
+  const PortfolioResult result = portfolio::solve_portfolio(g, 3);
+  EXPECT_EQ(result.verdict, Verdict::kUnsat);
+  EXPECT_FALSE(result.coloring.has_value());
+  ASSERT_GE(result.winner, 0);
+  const auto winner_kind =
+      portfolio::default_strategies()[static_cast<std::size_t>(result.winner)].kind;
+  EXPECT_TRUE(winner_kind == StrategyKind::kCdcl ||
+              winner_kind == StrategyKind::kCdclPresimplify);
+}
+
+TEST(Portfolio, ValidatesArguments) {
+  const auto g = graph::kings_graph_square(4);
+  PortfolioOptions options;
+  options.strategies.clear();
+  EXPECT_THROW((void)portfolio::solve_portfolio(g, 4, options),
+               std::invalid_argument);
+  EXPECT_THROW((void)portfolio::solve_portfolio(g, 1), std::invalid_argument);
+  std::vector<portfolio::PortfolioJob> jobs(1);  // null graph
+  EXPECT_THROW((void)portfolio::run_portfolio_batch(jobs, PortfolioOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Portfolio, SerialRunsAreDeterministic) {
+  const auto instances = small_grid();
+  portfolio::SweepOptions options;
+  options.portfolio.master_seed = 1234;
+  const portfolio::SweepRunner runner(options);
+  const auto first = runner.run(instances);
+  const auto second = runner.run(instances);
+  ASSERT_EQ(first.instances.size(), second.instances.size());
+  for (std::size_t i = 0; i < first.instances.size(); ++i) {
+    const PortfolioResult& a = first.instances[i];
+    const PortfolioResult& b = second.instances[i];
+    EXPECT_EQ(a.verdict, b.verdict) << instances[i].name;
+    EXPECT_EQ(a.winner, b.winner) << instances[i].name;
+    EXPECT_EQ(a.coloring, b.coloring) << instances[i].name;
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t s = 0; s < a.outcomes.size(); ++s) {
+      EXPECT_EQ(a.outcomes[s].ran, b.outcomes[s].ran);
+      EXPECT_EQ(a.outcomes[s].verdict, b.outcomes[s].verdict);
+      EXPECT_EQ(a.outcomes[s].conflicts, b.outcomes[s].conflicts);
+    }
+  }
+}
+
+TEST(Portfolio, VerdictsIdenticalAtAnyWorkerCount) {
+  const auto instances = small_grid();
+  portfolio::SweepOptions serial_options;
+  const auto reference =
+      portfolio::SweepRunner(serial_options).run(instances);
+  for (const std::size_t workers : {2, 4}) {
+    for (const auto schedule :
+         {Schedule::kStrategyMajor, Schedule::kInstanceMajor}) {
+      portfolio::SweepOptions options;
+      options.portfolio.num_workers = workers;
+      options.schedule = schedule;
+      const auto result = portfolio::SweepRunner(options).run(instances);
+      ASSERT_EQ(result.instances.size(), reference.instances.size());
+      for (std::size_t i = 0; i < result.instances.size(); ++i) {
+        EXPECT_EQ(result.instances[i].verdict, reference.instances[i].verdict)
+            << instances[i].name << " at " << workers << " workers";
+        if (result.instances[i].verdict == Verdict::kColored) {
+          ASSERT_TRUE(result.instances[i].coloring.has_value());
+          EXPECT_TRUE(graph::is_proper_coloring(instances[i].graph,
+                                                *result.instances[i].coloring,
+                                                instances[i].num_colors));
+        }
+      }
+    }
+  }
+}
+
+TEST(Portfolio, HeuristicOnlyLineupCannotDecideUnsat) {
+  const auto g = graph::kings_graph_square(5);
+  PortfolioOptions options;
+  options.strategies.clear();
+  for (const auto kind :
+       {StrategyKind::kDsatur, StrategyKind::kTabucol, StrategyKind::kSaPotts}) {
+    portfolio::StrategyConfig config;
+    config.kind = kind;
+    config.tabu_iterations = 500;
+    config.sa_sweeps = 50;
+    options.strategies.push_back(config);
+  }
+  const PortfolioResult result = portfolio::solve_portfolio(g, 3, options);
+  EXPECT_EQ(result.verdict, Verdict::kUnknown);
+  EXPECT_EQ(result.winner, -1);
+  for (const auto& outcome : result.outcomes) {
+    EXPECT_TRUE(outcome.ran);
+    EXPECT_EQ(outcome.verdict, Verdict::kUnknown);
+    EXPECT_GT(outcome.conflicts, 0u);
+  }
+}
+
+TEST(Portfolio, TimeoutCancelsBudgetBoundStrategies) {
+  // Only budget-heavy heuristics on an infeasible palette: without the
+  // timeout this would grind for a very long time; with it, both strategies
+  // must come back cancelled and the verdict stays unknown.
+  const auto g = graph::kings_graph_square(32);
+  PortfolioOptions options;
+  options.strategies.clear();
+  for (const auto kind : {StrategyKind::kTabucol, StrategyKind::kSaPotts}) {
+    portfolio::StrategyConfig config;
+    config.kind = kind;
+    config.tabu_iterations = 2000000000;
+    config.sa_sweeps = 2000000000;
+    options.strategies.push_back(config);
+  }
+  options.timeout_ms = 30;
+  const PortfolioResult result = portfolio::solve_portfolio(g, 3, options);
+  EXPECT_EQ(result.verdict, Verdict::kUnknown);
+  for (const auto& outcome : result.outcomes) {
+    EXPECT_TRUE(outcome.ran);
+    EXPECT_TRUE(outcome.cancelled);
+  }
+}
+
+TEST(Portfolio, DuplicatedSlotsBothRunOnUndecidableInstance) {
+  // Two identically-configured tabucol slots are legal; each draws its own
+  // RNG stream from the master seed (stream id = slot index), and on an
+  // instance neither can decide, both must run to completion and report.
+  const auto g = graph::kings_graph_square(5);
+  PortfolioOptions options;
+  options.strategies.clear();
+  for (int copy = 0; copy < 2; ++copy) {
+    portfolio::StrategyConfig config;
+    config.kind = StrategyKind::kTabucol;
+    config.tabu_iterations = 300;
+    options.strategies.push_back(config);
+  }
+  const PortfolioResult result = portfolio::solve_portfolio(g, 3, options);
+  EXPECT_EQ(result.verdict, Verdict::kUnknown);
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  for (const auto& outcome : result.outcomes) {
+    EXPECT_TRUE(outcome.ran);
+    EXPECT_GT(outcome.conflicts, 0u);
+  }
+}
+
+TEST(Sweep, ReportTableHasOneRowPerInstance) {
+  const auto instances = small_grid();
+  const portfolio::SweepRunner runner;
+  const auto result = runner.run(instances);
+  EXPECT_EQ(result.decided(), instances.size());
+  const auto table = runner.report(instances, result);
+  EXPECT_EQ(table.rows(), instances.size());
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("kings_5x5_K4"), std::string::npos);
+  EXPECT_NE(rendered.find("UNSAT"), std::string::npos);
+  EXPECT_NE(rendered.find("dsatur"), std::string::npos);
+}
+
+TEST(Sweep, KingsInstanceSpecIsWellFormed) {
+  const auto spec = portfolio::kings_instance(7, 4);
+  EXPECT_EQ(spec.name, "kings_7x7_K4");
+  EXPECT_EQ(spec.graph.num_nodes(), 49u);
+  EXPECT_EQ(spec.num_colors, 4u);
+}
+
+}  // namespace

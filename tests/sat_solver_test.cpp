@@ -225,6 +225,90 @@ TEST(Solver, SecondSolveAfterAssumptionConflictThrows) {
   EXPECT_THROW((void)s.solve(), std::logic_error);
 }
 
+TEST(Solver, PreStoppedTokenReturnsUnknown) {
+  // A satisfiable formula must not claim SAT when cancellation interrupted
+  // clause ingestion: the clause DB may be partial.
+  Cnf cnf(50);
+  msropm::util::Rng rng(3);
+  for (int c = 0; c < 150; ++c) {
+    Clause clause;
+    while (clause.size() < 3) {
+      clause.push_back(Lit(static_cast<Var>(rng.uniform_index(50)),
+                           rng.bernoulli(0.5)));
+    }
+    cnf.add_clause(clause);
+  }
+  msropm::util::StopSource source;
+  source.request_stop();
+  SolverOptions options;
+  options.stop = source.token();
+  Solver solver(cnf, options);
+  EXPECT_EQ(solver.solve(), SolveResult::kUnknown);
+  EXPECT_TRUE(solver.cancelled());
+}
+
+TEST(Solver, DerivedUnsatOutranksLaterCancellation) {
+  // UNSAT derived during construction refutes the formula no matter what
+  // happens afterwards, so a stop request arriving before solve() must not
+  // downgrade the answer to kUnknown. (A token stopped before construction
+  // preempts ingestion entirely and yields kUnknown instead — see
+  // PreStoppedTokenReturnsUnknown.)
+  Cnf cnf(1);
+  cnf.add_unit(pos(0));
+  cnf.add_unit(neg(0));
+  msropm::util::StopSource source;
+  SolverOptions options;
+  options.stop = source.token();
+  Solver solver(cnf, options);
+  source.request_stop();
+  EXPECT_EQ(solver.solve(), SolveResult::kUnsat);
+}
+
+TEST(Solver, PreStoppedTokenWithPresimplifyReturnsUnknown) {
+  Cnf cnf(3);
+  cnf.add_clause({pos(0), pos(1)});
+  cnf.add_clause({neg(1), pos(2)});
+  msropm::util::StopSource source;
+  source.request_stop();
+  SolverOptions options;
+  options.presimplify = true;
+  options.stop = source.token();
+  Solver solver(cnf, options);
+  EXPECT_EQ(solver.solve(), SolveResult::kUnknown);
+  EXPECT_TRUE(solver.cancelled());
+}
+
+TEST(Solver, DeadlineTokenInterruptsSearch) {
+  // Hard random 3-SAT near the phase transition with an already-expired
+  // deadline: the first in-search poll must abort with kUnknown.
+  msropm::util::Rng rng(11);
+  Cnf cnf(120);
+  for (int c = 0; c < 510; ++c) {
+    Clause clause;
+    while (clause.size() < 3) {
+      clause.push_back(Lit(static_cast<Var>(rng.uniform_index(120)),
+                           rng.bernoulli(0.5)));
+    }
+    cnf.add_clause(clause);
+  }
+  SolverOptions options;
+  options.stop = msropm::util::StopToken::at_deadline(
+      msropm::util::StopToken::Clock::now());
+  Solver solver(cnf, options);
+  EXPECT_EQ(solver.solve(), SolveResult::kUnknown);
+  EXPECT_TRUE(solver.cancelled());
+}
+
+TEST(Solver, InertTokenDoesNotDisturbSearch) {
+  Cnf cnf(2);
+  cnf.add_clause({pos(0), pos(1)});
+  cnf.add_clause({neg(0), pos(1)});
+  SolverOptions options;  // default-constructed stop token
+  Solver solver(cnf, options);
+  EXPECT_EQ(solver.solve(), SolveResult::kSat);
+  EXPECT_FALSE(solver.cancelled());
+}
+
 TEST(SolveCnfHelper, ReturnsModelOrNullopt) {
   Cnf sat(1);
   sat.add_unit(pos(0));

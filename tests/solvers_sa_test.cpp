@@ -96,6 +96,43 @@ TEST(SaPotts, EmptyGraph) {
   EXPECT_EQ(result.conflicts, 0u);
 }
 
+TEST(SaPotts, PreStoppedTokenReturnsImmediately) {
+  const auto g = graph::kings_graph_square(8);
+  SaPottsOptions opts;
+  opts.num_colors = 4;
+  opts.sweeps = 100000;
+  util::StopSource source;
+  source.request_stop();
+  opts.stop = source.token();
+  util::Rng rng(6);
+  const auto result = solve_sa_potts(g, opts, rng);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.proposed_moves, 0u);
+  EXPECT_EQ(result.colors.size(), g.num_nodes());
+}
+
+TEST(SaPotts, DeadlineTokenStopsLongAnneal) {
+  const auto g = graph::kings_graph_square(20);
+  SaPottsOptions opts;
+  opts.num_colors = 4;
+  opts.sweeps = 100000000;  // would run for hours without the deadline
+  opts.stop = util::StopToken::at_deadline(
+      util::StopToken::Clock::now() + std::chrono::milliseconds(5));
+  util::Rng rng(7);
+  const auto result = solve_sa_potts(g, opts, rng);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_LT(result.proposed_moves, opts.sweeps * g.num_nodes());
+}
+
+TEST(SaPotts, InertTokenLeavesAnnealUntouched) {
+  const auto g = graph::kings_graph_square(5);
+  SaPottsOptions opts;
+  opts.num_colors = 4;
+  util::Rng rng(1);
+  const auto result = solve_sa_potts(g, opts, rng);
+  EXPECT_FALSE(result.cancelled);
+}
+
 TEST(SaPotts, DeterministicForSeed) {
   const auto g = graph::kings_graph(5, 5);
   SaPottsOptions opts;

@@ -82,6 +82,46 @@ TEST(Tabucol, EmptyGraph) {
   EXPECT_EQ(result.conflicts, 0u);
 }
 
+TEST(Tabucol, PreStoppedTokenReturnsImmediately) {
+  const auto g = graph::kings_graph_square(8);
+  TabucolOptions opts;
+  opts.num_colors = 4;
+  opts.max_iterations = 1000000;
+  util::StopSource source;
+  source.request_stop();
+  opts.stop = source.token();
+  util::Rng rng(4);
+  const auto result = solve_tabucol(g, opts, rng);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.iterations_used, 0u);
+  EXPECT_EQ(result.colors.size(), g.num_nodes());
+}
+
+TEST(Tabucol, DeadlineTokenStopsInfeasibleSearch) {
+  // K4 is not 3-colorable, so without the deadline this would burn the whole
+  // huge budget; the poll every 64 iterations must cut it short.
+  const auto g = graph::complete_graph(4);
+  TabucolOptions opts;
+  opts.num_colors = 3;
+  opts.max_iterations = 50000000;
+  opts.stop = util::StopToken::at_deadline(
+      util::StopToken::Clock::now() + std::chrono::milliseconds(5));
+  util::Rng rng(5);
+  const auto result = solve_tabucol(g, opts, rng);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_LT(result.iterations_used, opts.max_iterations);
+}
+
+TEST(Tabucol, InertTokenLeavesSearchUntouched) {
+  const auto g = graph::kings_graph_square(6);
+  TabucolOptions opts;
+  opts.num_colors = 4;
+  util::Rng rng(1);
+  const auto result = solve_tabucol(g, opts, rng);
+  EXPECT_FALSE(result.cancelled);
+  EXPECT_EQ(result.conflicts, 0u);
+}
+
 TEST(Tabucol, LargePaperInstanceSolvable) {
   // Software baseline on the 400-node paper instance.
   const auto g = graph::kings_graph_square(20);

@@ -191,6 +191,61 @@ TEST(Rng, SplitProducesIndependentStream) {
   EXPECT_LE(same, 1);
 }
 
+TEST(Rng, StreamSplitIsPureAndReproducible) {
+  const Rng master(91);
+  Rng a = master.split(7);
+  Rng b = master.split(7);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+  // Deriving a stream does not advance the master.
+  EXPECT_EQ(master.state(), Rng(91).state());
+}
+
+TEST(Rng, StreamSplitOrderIndependent) {
+  // Workers may derive their streams in any order; stream i must not depend
+  // on which streams were derived before it.
+  const Rng master(17);
+  Rng forward_first = master.split(0);
+  Rng backward_2 = master.split(2);
+  Rng backward_1 = master.split(1);
+  Rng backward_0 = master.split(0);
+  Rng forward_second = master.split(1);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(forward_first(), backward_0());
+    ASSERT_EQ(forward_second(), backward_1());
+  }
+  (void)backward_2;
+}
+
+TEST(Rng, DistinctStreamsDiverge) {
+  const Rng master(5);
+  std::set<std::uint64_t> first_draws;
+  for (std::uint64_t stream = 0; stream < 64; ++stream) {
+    Rng child = master.split(stream);
+    first_draws.insert(child());
+  }
+  EXPECT_EQ(first_draws.size(), 64u);
+  // Adjacent streams are decorrelated, not shifted copies.
+  Rng s0 = master.split(0);
+  Rng s1 = master.split(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0() == s1()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, StreamSplitDependsOnMasterSeed) {
+  Rng from_seed_1 = Rng(1).split(3);
+  Rng from_seed_2 = Rng(2).split(3);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (from_seed_1() == from_seed_2()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
 TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   static_assert(std::uniform_random_bit_generator<Rng>);
   SUCCEED();

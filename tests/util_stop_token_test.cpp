@@ -1,0 +1,92 @@
+// Tests for the cooperative StopSource/StopToken cancellation primitive.
+#include "msropm/util/stop_token.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace {
+
+using msropm::util::StopSource;
+using msropm::util::StopToken;
+
+TEST(StopToken, DefaultTokenNeverStops) {
+  const StopToken token;
+  EXPECT_FALSE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(StopToken, SourceFlagReachesAllTokens) {
+  StopSource source;
+  const StopToken a = source.token();
+  const StopToken b = source.token();
+  EXPECT_TRUE(a.stop_possible());
+  EXPECT_FALSE(a.stop_requested());
+  EXPECT_FALSE(source.stop_requested());
+  source.request_stop();
+  EXPECT_TRUE(source.stop_requested());
+  EXPECT_TRUE(a.stop_requested());
+  EXPECT_TRUE(b.stop_requested());
+}
+
+TEST(StopToken, RequestStopIsIdempotent) {
+  StopSource source;
+  source.request_stop();
+  source.request_stop();
+  EXPECT_TRUE(source.token().stop_requested());
+}
+
+TEST(StopToken, TokensOutliveTheSource) {
+  StopToken token;
+  {
+    StopSource source;
+    token = source.token();
+    source.request_stop();
+  }
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(StopToken, PastDeadlineStops) {
+  const auto past = StopToken::Clock::now() - std::chrono::milliseconds(1);
+  const StopToken token = StopToken::at_deadline(past);
+  EXPECT_TRUE(token.stop_possible());
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(StopToken, FutureDeadlineDoesNotStopYet) {
+  const auto future = StopToken::Clock::now() + std::chrono::hours(1);
+  const StopToken token = StopToken::at_deadline(future);
+  EXPECT_TRUE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(StopToken, SourceWithDeadlineStopsOnEitherSignal) {
+  StopSource source;
+  const auto future = StopToken::Clock::now() + std::chrono::hours(1);
+  const StopToken token = source.token_with_deadline(future);
+  EXPECT_FALSE(token.stop_requested());
+  source.request_stop();
+  EXPECT_TRUE(token.stop_requested());
+
+  StopSource quiet;
+  const auto past = StopToken::Clock::now() - std::chrono::milliseconds(1);
+  EXPECT_TRUE(quiet.token_with_deadline(past).stop_requested());
+}
+
+TEST(StopToken, StopIsVisibleAcrossThreads) {
+  StopSource source;
+  const StopToken token = source.token();
+  std::thread requester([&source]() { source.request_stop(); });
+  requester.join();
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(StopToken, CopiesShareTheFlag) {
+  StopSource source;
+  const StopToken original = source.token();
+  const StopToken copy = original;  // NOLINT(performance-unnecessary-copy-initialization)
+  source.request_stop();
+  EXPECT_TRUE(copy.stop_requested());
+}
+
+}  // namespace
