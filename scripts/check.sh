@@ -6,10 +6,15 @@
 #   scripts/check.sh                        # Release build into build/
 #   MSROPM_SANITIZE=ON scripts/check.sh     # ASan/UBSan build into build-asan/
 #   MSROPM_SANITIZE=thread scripts/check.sh # TSan build into build-tsan/
+#   CHECK_ASAN=1 scripts/check.sh           # normal run, then additionally
+#                                           # build build-asan/ and run the
+#                                           # SAT arena/GC + preprocessor
+#                                           # tests under ASan/UBSan
 #   CHECK_TSAN=1 scripts/check.sh           # normal run, then additionally
 #                                           # build build-tsan/ and run the
-#                                           # portfolio + stop-token tests
-#                                           # under ThreadSanitizer
+#                                           # portfolio + stop-token + arena
+#                                           # cancellation tests under
+#                                           # ThreadSanitizer
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,12 +37,29 @@ cmake -B "${BUILD_DIR}" -S . -DMSROPM_SANITIZE="${SANITIZE}"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
+# SAT clause-arena tests: GC relocation + learnt reduction + cancellation is
+# exactly where a use-after-free would hide, so these run under ASan/UBSan on
+# demand (the sanitizer presets also enable the solver's internal
+# stale-reference checks via MSROPM_SAT_CHECK_INVARIANTS).
+ARENA_TESTS='sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test|sat_preprocess_test|sat_preprocess_equivalence_test'
+if [ "${CHECK_ASAN:-0}" = "1" ] && [ "${SANITIZE}" = "OFF" ]; then
+  cmake -B build-asan -S . -DMSROPM_SANITIZE=ON
+  cmake --build build-asan -j "${JOBS}" --target \
+    sat_arena_test sat_arena_equivalence_test sat_solver_growth_test \
+    sat_preprocess_test sat_preprocess_equivalence_test
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+    -R "^(${ARENA_TESTS})\$"
+fi
+
 # Optional TSan pass over the concurrency-sensitive tests (worker pool,
-# cooperative cancellation, stop-token plumbing).
+# cooperative cancellation, stop-token plumbing) plus the arena tests:
+# portfolio cancellation can fire mid-GC, which is where a race between the
+# stop flag and clause relocation would surface.
 if [ "${CHECK_TSAN:-0}" = "1" ] && [ "${SANITIZE}" != "thread" ]; then
   cmake -B build-tsan -S . -DMSROPM_SANITIZE=thread
-  cmake --build build-tsan -j "${JOBS}" \
-    --target portfolio_test portfolio_cancel_test util_stop_token_test
+  cmake --build build-tsan -j "${JOBS}" --target \
+    portfolio_test portfolio_cancel_test util_stop_token_test \
+    sat_arena_test sat_arena_equivalence_test sat_solver_growth_test
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-    -R '^(portfolio_test|portfolio_cancel_test|util_stop_token_test)$'
+    -R "^(portfolio_test|portfolio_cancel_test|util_stop_token_test|sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test)\$"
 fi

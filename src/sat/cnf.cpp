@@ -7,7 +7,9 @@
 
 namespace msropm::sat {
 
-void Cnf::add_clause(Clause clause) {
+void Cnf::add_clause(const Clause& clause) { add_clause(Clause(clause)); }
+
+void Cnf::add_clause(Clause&& clause) {
   for (Lit l : clause) {
     if (l.var() >= num_vars_) {
       throw std::invalid_argument("Cnf::add_clause: literal var out of range");
@@ -38,10 +40,12 @@ Cnf read_dimacs_cnf(std::istream& in) {
   std::string line;
   std::size_t line_no = 0;
   bool have_header = false;
+  bool eof_marker = false;
   std::size_t declared_vars = 0;
+  std::size_t declared_clauses = 0;
   Cnf cnf;
   Clause current;
-  while (std::getline(in, line)) {
+  while (!eof_marker && std::getline(in, line)) {
     ++line_no;
     const auto trimmed = util::trim(line);
     if (trimmed.empty() || trimmed[0] == 'c') continue;
@@ -58,6 +62,7 @@ Cnf read_dimacs_cnf(std::istream& in) {
                                  std::to_string(line_no));
       }
       declared_vars = static_cast<std::size_t>(*v);
+      declared_clauses = static_cast<std::size_t>(*c);
       cnf = Cnf(declared_vars);
       have_header = true;
       continue;
@@ -67,13 +72,19 @@ Cnf read_dimacs_cnf(std::istream& in) {
                                std::to_string(line_no));
     }
     for (const auto& tok : tokens) {
+      if (tok == "%") {
+        // Conventional SATLIB end-of-file marker: stop parsing and ignore
+        // whatever follows (typically a stray "0" line).
+        eof_marker = true;
+        break;
+      }
       const auto value = util::parse_int(tok);
       if (!value) {
         throw std::runtime_error("DIMACS CNF: bad literal at line " +
                                  std::to_string(line_no));
       }
       if (*value == 0) {
-        cnf.add_clause(current);
+        cnf.add_clause(std::move(current));
         current.clear();
       } else {
         const auto v = static_cast<std::size_t>(std::llabs(*value)) - 1;
@@ -88,6 +99,11 @@ Cnf read_dimacs_cnf(std::istream& in) {
   if (!have_header) throw std::runtime_error("DIMACS CNF: missing header");
   if (!current.empty()) {
     throw std::runtime_error("DIMACS CNF: unterminated final clause");
+  }
+  if (cnf.num_clauses() != declared_clauses) {
+    throw std::runtime_error(
+        "DIMACS CNF: header declares " + std::to_string(declared_clauses) +
+        " clauses but " + std::to_string(cnf.num_clauses()) + " were read");
   }
   return cnf;
 }

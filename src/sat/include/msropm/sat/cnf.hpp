@@ -61,7 +61,11 @@ class Cnf {
   Var new_var() { return static_cast<Var>(num_vars_++); }
 
   /// Add a clause; empty clauses are legal (formula trivially UNSAT).
-  void add_clause(Clause clause);
+  /// The rvalue overload moves the literal storage in (bulk producers like
+  /// the DIMACS parser and the coloring encoder pass std::move and never
+  /// copy a clause); braced-init-list calls bind to it too.
+  void add_clause(const Clause& clause);
+  void add_clause(Clause&& clause);
   void add_unit(Lit a) { add_clause({a}); }
   void add_binary(Lit a, Lit b) { add_clause({a, b}); }
   void add_ternary(Lit a, Lit b, Lit c) { add_clause({a, b, c}); }
@@ -84,7 +88,10 @@ class Cnf {
   std::vector<Clause> clauses_;
 };
 
-/// DIMACS CNF ("p cnf V C" + clause lines terminated by 0).
+/// DIMACS CNF ("p cnf V C" + clause lines terminated by 0). Readers accept
+/// the conventional SATLIB `%` end-of-file marker (everything after it is
+/// ignored) and validate the declared clause count against the clauses
+/// actually read, throwing std::runtime_error on mismatch.
 [[nodiscard]] Cnf read_dimacs_cnf(std::istream& in);
 [[nodiscard]] Cnf read_dimacs_cnf_string(const std::string& content);
 void write_dimacs_cnf(std::ostream& out, const Cnf& cnf);

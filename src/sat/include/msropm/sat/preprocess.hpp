@@ -1,12 +1,21 @@
 #pragma once
 // CNF preprocessing (pre-search simplification) for the CDCL solver.
 //
-// The preprocessor rewrites a Cnf into an equisatisfiable, smaller Cnf before
-// search: unit propagation to fixpoint, pure-literal elimination, tautology
-// and duplicate-clause removal, subsumption and self-subsuming resolution
-// (occurrence lists + 64-bit clause signatures), blocked-clause elimination
-// (which strips the at-most-one ladders of direct coloring encodings), and
-// bounded variable elimination with clause- and literal-growth caps.
+// The preprocessor rewrites a Cnf into an equisatisfiable, smaller formula
+// before search: unit propagation to fixpoint, pure-literal elimination,
+// tautology and duplicate-clause removal, subsumption and self-subsuming
+// resolution (occurrence lists + 64-bit clause signatures), blocked-clause
+// elimination (which strips the at-most-one ladders of direct coloring
+// encodings), and bounded variable elimination with clause- and
+// literal-growth caps.
+//
+// The working clause database lives in a flat ClauseArena (arena.hpp): each
+// clause is a [header | lits...] record addressed by ClauseRef, occurrence
+// lists index a small POD side table, and no per-clause vector is ever
+// allocated. The simplified output is again an arena (compacted variables,
+// garbage-free — compact() doubles as the post-presimplify GC), which the
+// solver adopts wholesale so preprocessor output moves into the search
+// without re-allocating or copying any literal.
 //
 // Every clause or variable removal that is *not* model-preserving pushes an
 // entry onto the Remapper's reconstruction stack (MiniSat/cryptominisat
@@ -19,6 +28,7 @@
 #include <optional>
 #include <vector>
 
+#include "msropm/sat/arena.hpp"
 #include "msropm/sat/cnf.hpp"
 #include "msropm/util/stop_token.hpp"
 
@@ -77,20 +87,20 @@ struct PreprocessStats {
 /// chronological stack of eliminations. reconstruct() replays the stack in
 /// reverse, so each entry's clauses only mention variables whose final value
 /// is already known when the entry is processed.
+///
+/// Entry clauses are stored in one flat literal pool (offset/length spans)
+/// instead of per-entry vectors: on coloring encodings BCE alone pushes tens
+/// of thousands of clauses here, and the pool turns those into zero
+/// per-clause allocations.
 class Remapper {
  public:
   static constexpr std::uint32_t kUnmapped = ~std::uint32_t{0};
 
-  struct Entry {
-    enum class Kind : std::uint8_t {
-      kUnit,        ///< lit was a top-level unit: set it true
-      kPure,        ///< lit was pure: set it true
-      kBlocked,     ///< clauses[0] was blocked on lit: set lit true if unsat
-      kEliminated,  ///< var(lit) was BVE-eliminated; clauses hold the lit side
-    };
-    Kind kind = Kind::kUnit;
-    Lit lit;
-    std::vector<Clause> clauses;
+  enum class Kind : std::uint8_t {
+    kUnit,        ///< lit was a top-level unit: set it true
+    kPure,        ///< lit was pure: set it true
+    kBlocked,     ///< the entry's clause was blocked on lit: set lit true if unsat
+    kEliminated,  ///< var(lit) was BVE-eliminated; clauses hold the lit side
   };
 
   Remapper() = default;
@@ -112,8 +122,19 @@ class Remapper {
   [[nodiscard]] std::vector<std::uint8_t> reconstruct(
       const std::vector<std::uint8_t>& simplified_model) const;
 
-  // Builder API (used by Preprocessor).
-  void push(Entry entry) { stack_.push_back(std::move(entry)); }
+  // Builder API (used by Preprocessor): push an entry, then attach the
+  // clauses reconstruction needs via push_clause (they belong to the most
+  // recently pushed entry).
+  void push(Kind kind, Lit lit) {
+    stack_.push_back(
+        {kind, lit, static_cast<std::uint32_t>(spans_.size()), 0});
+  }
+  void push_clause(const Lit* lits, std::size_t n) {
+    spans_.push_back({static_cast<std::uint32_t>(pool_.size()),
+                      static_cast<std::uint32_t>(n)});
+    pool_.insert(pool_.end(), lits, lits + n);
+    ++stack_.back().clause_count;
+  }
   void set_map(std::vector<std::uint32_t> map, std::size_t simplified_vars) {
     map_ = std::move(map);
     simplified_vars_ = simplified_vars;
@@ -121,17 +142,39 @@ class Remapper {
   [[nodiscard]] std::size_t stack_size() const noexcept { return stack_.size(); }
 
  private:
+  struct Entry {
+    Kind kind = Kind::kUnit;
+    Lit lit;
+    std::uint32_t clause_begin = 0;  ///< first span index in spans_
+    std::uint32_t clause_count = 0;
+  };
+  struct Span {
+    std::uint32_t begin = 0;  ///< offset into pool_
+    std::uint32_t len = 0;
+  };
+
   std::size_t original_vars_ = 0;
   std::size_t simplified_vars_ = 0;
   std::vector<std::uint32_t> map_;  // original var -> simplified var / kUnmapped
   std::vector<Entry> stack_;        // chronological; replayed in reverse
+  std::vector<Span> spans_;         // per stored clause: slice of pool_
+  std::vector<Lit> pool_;           // flat literal storage for entry clauses
 };
 
 struct PreprocessResult {
-  Cnf cnf;            ///< simplified formula over compacted variables
+  /// Simplified formula over compacted variables: garbage-free arena plus
+  /// the refs of its clauses in canonical (load) order. The solver adopts
+  /// these wholesale; standalone users can materialize a Cnf via cnf().
+  ClauseArena arena;
+  std::vector<ClauseRef> clauses;
+  std::size_t num_vars = 0;
   Remapper remapper;  ///< model reconstruction back to the original space
   PreprocessStats stats;
   bool unsat = false;  ///< preprocessing alone proved UNSAT
+
+  /// Materialize the simplified formula as a Cnf (copies every clause; meant
+  /// for tests and tools, not the solver fast path).
+  [[nodiscard]] Cnf cnf() const;
 };
 
 /// Occurrence-list CNF simplifier. Single-use: construct, run() once.
@@ -142,16 +185,17 @@ class Preprocessor {
   [[nodiscard]] PreprocessResult run();
 
  private:
+  /// POD side record per clause; the literals live in the arena. Occurrence
+  /// lists hold indices into clauses_ (not refs) so signatures stay hot.
   struct PClause {
-    Clause lits;            // sorted by literal index, no duplicates
+    ClauseRef ref = kNullClauseRef;
     std::uint64_t sig = 0;  // OR of 1 << (lit.index() % 64)
-    bool deleted = false;
   };
 
   enum class Fixed : std::uint8_t { kUndef, kTrue, kFalse };
 
   void load(const Cnf& cnf);
-  std::uint32_t add_clause_internal(Clause lits);
+  std::uint32_t add_clause_internal(const Clause& lits);
   void remove_clause(std::uint32_t ci);
   void strengthen_clause(std::uint32_t ci, Lit l);
   void enqueue_unit(Lit l);
@@ -165,19 +209,35 @@ class Preprocessor {
                                Clause& out) const;
   void compact(PreprocessResult& result);
 
-  [[nodiscard]] static std::uint64_t signature(const Clause& lits) noexcept;
+  [[nodiscard]] bool dead(std::uint32_t ci) const noexcept {
+    return arena_.deleted(clauses_[ci].ref);
+  }
+  [[nodiscard]] const Lit* clause_lits(std::uint32_t ci) const noexcept {
+    return arena_.lits(clauses_[ci].ref);
+  }
+  [[nodiscard]] Lit* clause_lits(std::uint32_t ci) noexcept {
+    return arena_.lits(clauses_[ci].ref);
+  }
+  [[nodiscard]] std::size_t clause_size(std::uint32_t ci) const noexcept {
+    return arena_.size(clauses_[ci].ref);
+  }
+
+  [[nodiscard]] static std::uint64_t signature(const Lit* lits,
+                                               std::size_t n) noexcept;
   [[nodiscard]] std::size_t live_occurrences(Lit l) const noexcept {
     return occ_count_[l.index()];
   }
 
   PreprocessOptions options_;
   std::size_t num_vars_ = 0;
-  std::vector<PClause> clauses_;
+  ClauseArena arena_;                            // working clause storage
+  std::vector<PClause> clauses_;                 // POD side table
   std::vector<std::vector<std::uint32_t>> occ_;  // per literal, lazily cleaned
   std::vector<std::uint32_t> occ_count_;         // exact live count per literal
   std::vector<std::uint8_t> removed_;            // var left the formula
   std::vector<Fixed> fixed_;                     // value for unit/pure vars
   std::vector<Lit> unit_queue_;
+  Clause scratch_;                               // reused normalization buffer
   std::size_t live_clauses_ = 0;
   bool unsat_ = false;
   bool ran_ = false;

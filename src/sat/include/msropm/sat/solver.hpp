@@ -7,11 +7,21 @@
 // exact colorings against which MSROPM accuracy is normalized. The King's
 // graph 4-coloring instances (up to 2116 nodes = 8464 variables) solve in
 // milliseconds.
+//
+// The clause database lives in a flat ClauseArena (arena.hpp): one uint32
+// buffer holds every clause, watch lists and reason slots hold ClauseRefs,
+// and learnt-clause reduction is followed by a compacting garbage collection
+// that rewrites live clauses into a fresh buffer and remaps every holder.
+// This both removes the per-clause heap allocations of the old
+// vector-of-vectors design and actually reclaims the memory of deleted
+// learnts (the old design only tombstoned them, so the clause vector and the
+// watch lists grew monotonically on conflict-heavy solves).
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "msropm/sat/arena.hpp"
 #include "msropm/sat/cnf.hpp"
 #include "msropm/sat/preprocess.hpp"
 #include "msropm/util/stop_token.hpp"
@@ -27,6 +37,11 @@ struct SolverStats {
   std::uint64_t restarts = 0;
   std::uint64_t learnt_clauses = 0;
   std::uint64_t removed_learnts = 0;
+  // Clause-arena accounting (all in 4-byte words).
+  std::uint64_t gc_runs = 0;           ///< compacting garbage collections
+  std::uint64_t gc_freed_words = 0;    ///< words reclaimed across all GCs
+  std::uint64_t arena_alloc_words = 0; ///< lifetime words handed to clauses
+  std::uint64_t arena_peak_words = 0;  ///< high-water mark of the live buffer
 };
 
 struct SolverOptions {
@@ -92,23 +107,36 @@ class Solver {
     return preprocess_stats_;
   }
 
+  /// Clause-reference hygiene invariant: no watch list, reason slot, or
+  /// learnt-list entry references a deleted or out-of-bounds arena record.
+  /// Holds between any two solver steps outside propagate()/reduce_learnts()
+  /// internals; asserted after every reduce_learnts() in debug builds and
+  /// checked post-solve by the growth regression test.
+  [[nodiscard]] bool clause_refs_clean() const noexcept;
+
+  /// Words currently occupied by the clause arena (live + not-yet-collected).
+  [[nodiscard]] std::size_t arena_used_words() const noexcept {
+    return arena_.used_words();
+  }
+
  private:
   enum class LBool : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
-  static constexpr std::uint32_t kNoReason = ~std::uint32_t{0};
-
-  struct InternalClause {
-    std::vector<Lit> lits;
-    double activity = 0.0;
-    bool learnt = false;
-    bool deleted = false;
-  };
+  static constexpr ClauseRef kNoReason = kNullClauseRef;
 
   void setup_arrays(std::size_t num_vars);
-  /// Add one problem clause. `normalized` clauses (preprocessor output) are
-  /// trusted to be sorted, duplicate-free, and non-tautological.
-  void ingest_clause(Clause&& lits, bool normalized);
+  /// Add one problem clause; stored (non-unit) clauses are appended to
+  /// `stored` for deferred watch construction.
+  void ingest_clause(Clause&& lits, std::vector<ClauseRef>& stored);
   void init_from(const Cnf& cnf);
-  void init_from_normalized(std::size_t num_vars, std::vector<Clause>&& clauses);
+  /// Count the two watch literals of every stored clause, reserve each watch
+  /// list exactly once, then attach in order: ingestion allocates per
+  /// non-empty literal list, never per clause.
+  void build_watches(const std::vector<ClauseRef>& refs);
+  /// Presimplify fast path: take ownership of the preprocessor's output
+  /// arena and build watch lists straight over its refs — no literal is
+  /// copied and no per-clause allocation happens.
+  void adopt_arena(std::size_t num_vars, ClauseArena&& arena,
+                   std::vector<ClauseRef>&& refs);
 
   [[nodiscard]] LBool value(Lit l) const noexcept {
     const LBool v = assigns_[l.var()];
@@ -117,27 +145,35 @@ class Solver {
     return b ? LBool::kTrue : LBool::kFalse;
   }
 
-  void attach_clause(std::uint32_t ci);
-  void enqueue(Lit l, std::uint32_t reason);
-  [[nodiscard]] std::uint32_t propagate();  // returns conflicting clause or kNoReason
-  void analyze(std::uint32_t conflict, std::vector<Lit>& learnt_out,
+  void attach_clause(ClauseRef cr);
+  void enqueue(Lit l, ClauseRef reason);
+  [[nodiscard]] ClauseRef propagate();  // returns conflicting clause or kNoReason
+  void analyze(ClauseRef conflict, std::vector<Lit>& learnt_out,
                std::uint32_t& backtrack_level);
   void backtrack(std::uint32_t level);
   [[nodiscard]] std::optional<Lit> pick_branch_lit();
   void bump_var(Var v);
-  void bump_clause(InternalClause& c);
+  void bump_clause(ClauseRef cr);
   void decay_activities();
   void reduce_learnts();
+  /// Drop every deleted ref from every watch list (order-preserving). Runs
+  /// after each reduce_learnts so the stale-reference invariant holds
+  /// eagerly instead of decaying lazily through propagate().
+  void purge_watches();
+  /// Compacting GC: rewrite live clauses into a fresh arena and remap watch
+  /// lists, reason slots, and the learnt list through forwarding refs.
+  void garbage_collect();
+  void note_arena_peak() noexcept;
   [[nodiscard]] static std::uint64_t luby(std::uint64_t i) noexcept;
   [[nodiscard]] bool lit_redundant(Lit l, std::uint32_t abstract_levels);
 
   std::size_t num_vars_;
-  std::vector<InternalClause> clauses_;
-  std::vector<std::vector<std::uint32_t>> watches_;  // indexed by Lit::index
+  ClauseArena arena_;
+  std::vector<std::vector<ClauseRef>> watches_;  // indexed by Lit::index
   std::vector<LBool> assigns_;
   std::vector<std::uint8_t> polarity_;  // saved phase per var
   std::vector<std::uint32_t> level_;
-  std::vector<std::uint32_t> reason_;
+  std::vector<ClauseRef> reason_;
   std::vector<Lit> trail_;
   std::vector<std::size_t> trail_lim_;
   std::size_t qhead_ = 0;
@@ -145,7 +181,14 @@ class Solver {
   double var_inc_ = 1.0;
   double clause_inc_ = 1.0;
   std::vector<std::uint8_t> seen_;
-  std::vector<std::uint32_t> learnt_indices_;
+  std::vector<ClauseRef> learnt_refs_;
+  // Scratch buffers reused across calls so the search hot path (analyze /
+  // minimize / reduce) performs no per-conflict heap allocations.
+  Clause ingest_scratch_;
+  std::vector<Var> analyze_cleanup_;
+  std::vector<Lit> minimize_stack_;
+  std::vector<Var> minimize_clear_;
+  std::vector<ClauseRef> reduce_candidates_;
   bool ok_ = true;          // false once a top-level conflict is derived
   bool solve_started_ = false;  // enforces the single-shot contract
   bool cancelled_ = false;      // options_.stop fired; clause DB may be partial

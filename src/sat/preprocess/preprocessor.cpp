@@ -20,6 +20,17 @@ void filter_list(std::vector<std::uint32_t>& list, Pred live) {
 
 }  // namespace
 
+Cnf PreprocessResult::cnf() const {
+  Cnf out(num_vars);
+  Clause scratch;
+  for (ClauseRef cr : clauses) {
+    const Lit* lits = arena.lits(cr);
+    scratch.assign(lits, lits + arena.size(cr));
+    out.add_clause(scratch);
+  }
+  return out;
+}
+
 Preprocessor::Preprocessor(const Cnf& cnf, PreprocessOptions options)
     : options_(options), num_vars_(cnf.num_vars()) {
   occ_.resize(2 * num_vars_);
@@ -33,9 +44,11 @@ Preprocessor::Preprocessor(const Cnf& cnf, PreprocessOptions options)
   load(cnf);
 }
 
-std::uint64_t Preprocessor::signature(const Clause& lits) noexcept {
+std::uint64_t Preprocessor::signature(const Lit* lits, std::size_t n) noexcept {
   std::uint64_t sig = 0;
-  for (Lit l : lits) sig |= std::uint64_t{1} << (l.index() % 64);
+  for (std::size_t i = 0; i < n; ++i) {
+    sig |= std::uint64_t{1} << (lits[i].index() % 64);
+  }
   return sig;
 }
 
@@ -50,14 +63,18 @@ void Preprocessor::load(const Cnf& cnf) {
   const std::size_t table_mask = (std::size_t{1} << table_bits) - 1;
   std::vector<std::uint32_t> table(table_mask + 1, kNoClause);
   clauses_.reserve(cnf.num_clauses());
+  std::size_t total_literals = 0;
   // Pre-size the occurrence lists so the 2V vectors grow once, not log-times.
   for (const Clause& raw : cnf.clauses()) {
     for (Lit l : raw) ++occ_count_[l.index()];
+    total_literals += raw.size();
   }
   for (std::size_t i = 0; i < occ_.size(); ++i) occ_[i].reserve(occ_count_[i]);
   occ_count_.assign(occ_count_.size(), 0);
+  arena_ = ClauseArena(total_literals + cnf.num_clauses());
+  Clause& lits = scratch_;  // reused across clauses: zero per-clause vectors
   for (const Clause& raw : cnf.clauses()) {
-    Clause lits = raw;
+    lits.assign(raw.begin(), raw.end());
     std::sort(lits.begin(), lits.end());
     lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
     bool tautology = false;
@@ -83,7 +100,9 @@ void Preprocessor::load(const Cnf& cnf) {
     std::size_t slot = static_cast<std::size_t>(hash) & table_mask;
     bool duplicate = false;
     while (table[slot] != kNoClause) {
-      if (clauses_[table[slot]].lits == lits) {
+      const std::uint32_t other = table[slot];
+      if (clause_size(other) == lits.size() &&
+          std::equal(lits.begin(), lits.end(), clause_lits(other))) {
         duplicate = true;
         break;
       }
@@ -94,49 +113,51 @@ void Preprocessor::load(const Cnf& cnf) {
       continue;
     }
     if (lits.size() == 1) enqueue_unit(lits[0]);
-    table[slot] = add_clause_internal(std::move(lits));
+    table[slot] = add_clause_internal(lits);
   }
 }
 
-std::uint32_t Preprocessor::add_clause_internal(Clause lits) {
+std::uint32_t Preprocessor::add_clause_internal(const Clause& lits) {
   const auto ci = static_cast<std::uint32_t>(clauses_.size());
   PClause pc;
-  pc.sig = signature(lits);
-  pc.lits = std::move(lits);
-  for (Lit l : pc.lits) {
+  pc.ref = arena_.alloc(lits, /*learnt=*/false);
+  pc.sig = signature(lits.data(), lits.size());
+  for (Lit l : lits) {
     occ_[l.index()].push_back(ci);
     ++occ_count_[l.index()];
   }
-  clauses_.push_back(std::move(pc));
+  clauses_.push_back(pc);
   ++live_clauses_;
   return ci;
 }
 
 void Preprocessor::remove_clause(std::uint32_t ci) {
-  PClause& c = clauses_[ci];
-  if (c.deleted) return;
-  c.deleted = true;
-  for (Lit l : c.lits) --occ_count_[l.index()];
+  if (dead(ci)) return;
+  const Lit* lits = clause_lits(ci);
+  const std::size_t n = clause_size(ci);
+  for (std::size_t i = 0; i < n; ++i) --occ_count_[lits[i].index()];
+  arena_.free_clause(clauses_[ci].ref);
   --live_clauses_;
 }
 
 void Preprocessor::strengthen_clause(std::uint32_t ci, Lit l) {
-  PClause& c = clauses_[ci];
-  auto it = std::find(c.lits.begin(), c.lits.end(), l);
-  if (it == c.lits.end()) return;
-  c.lits.erase(it);
+  const Lit* lits = clause_lits(ci);
+  const std::size_t n = clause_size(ci);
+  if (std::find(lits, lits + n, l) == lits + n) return;
+  arena_.remove_lit(clauses_[ci].ref, l);
   --occ_count_[l.index()];
   // Keep the occurrence vector exact: BVE and BCE read membership from it,
   // so a stale entry would let them resolve or block on an absent literal.
   auto& list = occ_[l.index()];
   const auto pos_it = std::find(list.begin(), list.end(), ci);
   if (pos_it != list.end()) list.erase(pos_it);
-  c.sig = signature(c.lits);
-  if (c.lits.empty()) {
+  const std::size_t new_n = clause_size(ci);
+  clauses_[ci].sig = signature(clause_lits(ci), new_n);
+  if (new_n == 0) {
     unsat_ = true;
     return;
   }
-  if (c.lits.size() == 1) enqueue_unit(c.lits[0]);
+  if (new_n == 1) enqueue_unit(clause_lits(ci)[0]);
 }
 
 void Preprocessor::enqueue_unit(Lit l) { unit_queue_.push_back(l); }
@@ -155,7 +176,7 @@ bool Preprocessor::propagate_units() {
     if (removed_[v]) continue;  // eliminated vars cannot re-enter the formula
     fixed_[v] = l.negated() ? Fixed::kFalse : Fixed::kTrue;
     removed_[v] = 1;
-    remapper_.push({Remapper::Entry::Kind::kUnit, l, {}});
+    remapper_.push(Remapper::Kind::kUnit, l);
     ++stats_.unit_fixed;
     changed = true;
     // Clauses containing l are satisfied; clauses containing ~l shrink.
@@ -165,10 +186,10 @@ bool Preprocessor::propagate_units() {
     occ_[l.index()].clear();
     occ_[(~l).index()].clear();
     for (std::uint32_t ci : sat_list) {
-      if (!clauses_[ci].deleted) remove_clause(ci);
+      if (!dead(ci)) remove_clause(ci);
     }
     for (std::uint32_t ci : str_list) {
-      if (!clauses_[ci].deleted) strengthen_clause(ci, ~l);
+      if (!dead(ci)) strengthen_clause(ci, ~l);
       if (unsat_) break;
     }
   }
@@ -194,10 +215,10 @@ bool Preprocessor::eliminate_pure_literals() {
       }
       removed_[v] = 1;
       fixed_[v] = pure.negated() ? Fixed::kFalse : Fixed::kTrue;
-      remapper_.push({Remapper::Entry::Kind::kPure, pure, {}});
+      remapper_.push(Remapper::Kind::kPure, pure);
       ++stats_.pure_fixed;
       for (std::uint32_t ci : occ_[pure.index()]) {
-        if (!clauses_[ci].deleted) remove_clause(ci);
+        if (!dead(ci)) remove_clause(ci);
       }
       occ_[pure.index()].clear();
       occ_[(~pure).index()].clear();
@@ -210,27 +231,31 @@ bool Preprocessor::eliminate_pure_literals() {
 
 bool Preprocessor::subsumption_pass() {
   bool changed = false;
+  Clause base;  // self-subsumption snapshot: strengthening edits in place
   for (std::uint32_t ci = 0; ci < clauses_.size() && !unsat_; ++ci) {
-    if (clauses_[ci].deleted) continue;
+    if (dead(ci)) continue;
     // Forward subsumption: does ci subsume anything reachable through its
     // least-occurring literal? (Every superset of ci contains that literal.)
     if (options_.subsumption) {
-      const Clause& base = clauses_[ci].lits;
-      Lit pivot = base[0];
-      for (Lit l : base) {
-        if (occ_count_[l.index()] < occ_count_[pivot.index()]) pivot = l;
+      const Lit* base_lits = clause_lits(ci);
+      const std::size_t base_n = clause_size(ci);
+      Lit pivot = base_lits[0];
+      for (std::size_t i = 0; i < base_n; ++i) {
+        if (occ_count_[base_lits[i].index()] < occ_count_[pivot.index()]) {
+          pivot = base_lits[i];
+        }
       }
       auto& list = occ_[pivot.index()];
-      filter_list(list, [&](std::uint32_t k) { return !clauses_[k].deleted; });
+      filter_list(list, [&](std::uint32_t k) { return !dead(k); });
       if (list.size() <= options_.occurrence_scan_limit) {
         const std::uint64_t sig = clauses_[ci].sig;
         for (std::uint32_t cj : list) {
           if (cj == ci) continue;
-          PClause& other = clauses_[cj];
-          if (other.deleted || other.lits.size() < base.size()) continue;
-          if ((sig & ~other.sig) != 0) continue;
-          if (std::includes(other.lits.begin(), other.lits.end(), base.begin(),
-                            base.end())) {
+          if (dead(cj) || clause_size(cj) < base_n) continue;
+          if ((sig & ~clauses_[cj].sig) != 0) continue;
+          const Lit* other = clause_lits(cj);
+          if (std::includes(other, other + clause_size(cj), base_lits,
+                            base_lits + base_n)) {
             remove_clause(cj);
             ++stats_.subsumed;
             changed = true;
@@ -241,12 +266,12 @@ bool Preprocessor::subsumption_pass() {
     // Self-subsuming resolution: if ci with one literal flipped subsumes
     // another clause, that clause can drop the flipped literal.
     if (options_.self_subsumption) {
-      const Clause base = clauses_[ci].lits;  // copy: strengthening may move
+      base.assign(clause_lits(ci), clause_lits(ci) + clause_size(ci));
       for (Lit l : base) {
-        if (clauses_[ci].deleted) break;
+        if (dead(ci)) break;
         const Lit flipped = ~l;
         filter_list(occ_[flipped.index()],
-                    [&](std::uint32_t k) { return !clauses_[k].deleted; });
+                    [&](std::uint32_t k) { return !dead(k); });
         if (occ_[flipped.index()].size() > options_.occurrence_scan_limit) {
           continue;
         }
@@ -258,16 +283,17 @@ bool Preprocessor::subsumption_pass() {
         const std::vector<std::uint32_t> candidates = occ_[flipped.index()];
         for (std::uint32_t cj : candidates) {
           if (cj == ci) continue;
-          PClause& other = clauses_[cj];
-          if (other.deleted || other.lits.size() < base.size()) continue;
-          if ((sig & ~other.sig) != 0) continue;
+          if (dead(cj) || clause_size(cj) < base.size()) continue;
+          if ((sig & ~clauses_[cj].sig) != 0) continue;
           // Check (base \ {l}) ∪ {~l} ⊆ other via a merge walk.
           bool subset = true;
-          auto it = other.lits.begin();
+          const Lit* other = clause_lits(cj);
+          const Lit* other_end = other + clause_size(cj);
+          const Lit* it = other;
           for (Lit b : base) {
             const Lit want = b == l ? flipped : b;
-            while (it != other.lits.end() && *it < want) ++it;
-            if (it == other.lits.end() || *it != want) {
+            while (it != other_end && *it < want) ++it;
+            if (it == other_end || *it != want) {
               subset = false;
               break;
             }
@@ -291,22 +317,25 @@ bool Preprocessor::blocked_clause_pass() {
     if (removed_[v]) continue;
     for (const Lit l : {pos(v), neg(v)}) {
       auto& mirror = occ_[(~l).index()];
-      filter_list(mirror, [&](std::uint32_t k) { return !clauses_[k].deleted; });
+      filter_list(mirror, [&](std::uint32_t k) { return !dead(k); });
       if (mirror.size() > options_.occurrence_scan_limit) continue;
       auto& list = occ_[l.index()];
-      filter_list(list, [&](std::uint32_t k) { return !clauses_[k].deleted; });
+      filter_list(list, [&](std::uint32_t k) { return !dead(k); });
       for (std::uint32_t ci : list) {
-        PClause& c = clauses_[ci];
-        if (c.deleted || c.lits.size() < 2) continue;
-        for (Lit p : c.lits) marked[p.index()] = 1;
+        if (dead(ci) || clause_size(ci) < 2) continue;
+        const Lit* c_lits = clause_lits(ci);
+        const std::size_t c_n = clause_size(ci);
+        for (std::size_t i = 0; i < c_n; ++i) marked[c_lits[i].index()] = 1;
         bool blocked = true;
         for (std::uint32_t cj : mirror) {
-          const PClause& d = clauses_[cj];
-          if (d.deleted) continue;
+          if (dead(cj)) continue;
           // Resolvent of c and d on l is tautological iff d contains the
           // negation of some other literal of c.
           bool tautological = false;
-          for (Lit q : d.lits) {
+          const Lit* d_lits = clause_lits(cj);
+          const std::size_t d_n = clause_size(cj);
+          for (std::size_t k = 0; k < d_n; ++k) {
+            const Lit q = d_lits[k];
             if (q != ~l && marked[(~q).index()]) {
               tautological = true;
               break;
@@ -317,11 +346,11 @@ bool Preprocessor::blocked_clause_pass() {
             break;
           }
         }
-        for (Lit p : c.lits) marked[p.index()] = 0;
+        for (std::size_t i = 0; i < c_n; ++i) marked[c_lits[i].index()] = 0;
         if (blocked) {
-          remove_clause(ci);  // updates occurrence counts from c.lits first
-          remapper_.push(
-              {Remapper::Entry::Kind::kBlocked, l, {std::move(c.lits)}});
+          remove_clause(ci);  // updates occurrence counts; lits stay readable
+          remapper_.push(Remapper::Kind::kBlocked, l);
+          remapper_.push_clause(c_lits, c_n);
           ++stats_.blocked;
           changed = true;
         }
@@ -335,11 +364,19 @@ bool Preprocessor::resolvent(const PClause& a, const PClause& b, Lit pivot,
                              Clause& out) const {
   // Merge a \ {pivot} with b \ {~pivot}; false when tautological.
   out.clear();
-  for (Lit l : a.lits) {
-    if (l != pivot) out.push_back(l);
+  {
+    const Lit* lits = arena_.lits(a.ref);
+    const std::size_t n = arena_.size(a.ref);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lits[i] != pivot) out.push_back(lits[i]);
+    }
   }
-  for (Lit l : b.lits) {
-    if (l != ~pivot) out.push_back(l);
+  {
+    const Lit* lits = arena_.lits(b.ref);
+    const std::size_t n = arena_.size(b.ref);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lits[i] != ~pivot) out.push_back(lits[i]);
+    }
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -361,12 +398,12 @@ bool Preprocessor::try_eliminate_var(Var v) {
 
   auto& pos_list = occ_[p.index()];
   auto& neg_list = occ_[n.index()];
-  filter_list(pos_list, [&](std::uint32_t k) { return !clauses_[k].deleted; });
-  filter_list(neg_list, [&](std::uint32_t k) { return !clauses_[k].deleted; });
+  filter_list(pos_list, [&](std::uint32_t k) { return !dead(k); });
+  filter_list(neg_list, [&](std::uint32_t k) { return !dead(k); });
 
   std::size_t original_literals = 0;
-  for (std::uint32_t ci : pos_list) original_literals += clauses_[ci].lits.size();
-  for (std::uint32_t ci : neg_list) original_literals += clauses_[ci].lits.size();
+  for (std::uint32_t ci : pos_list) original_literals += clause_size(ci);
+  for (std::uint32_t ci : neg_list) original_literals += clause_size(ci);
 
   // Gate on both clause growth and literal growth: eliminations that shrink
   // the clause count but inflate total literals slow propagation down.
@@ -388,13 +425,11 @@ bool Preprocessor::try_eliminate_var(Var v) {
 
   // Commit: store the positive side for model reconstruction, drop every
   // clause mentioning v, then add the resolvents.
-  Remapper::Entry entry{Remapper::Entry::Kind::kEliminated, p, {}};
-  entry.clauses.reserve(pos_list.size());
+  remapper_.push(Remapper::Kind::kEliminated, p);
   for (std::uint32_t ci : pos_list) {
-    remove_clause(ci);  // updates occurrence counts before the lits move out
-    entry.clauses.push_back(std::move(clauses_[ci].lits));
+    remove_clause(ci);  // updates occurrence counts; lits stay readable
+    remapper_.push_clause(clause_lits(ci), clause_size(ci));
   }
-  remapper_.push(std::move(entry));
   for (std::uint32_t ci : neg_list) remove_clause(ci);
   occ_[p.index()].clear();
   occ_[n.index()].clear();
@@ -407,7 +442,7 @@ bool Preprocessor::try_eliminate_var(Var v) {
       return true;
     }
     if (r.size() == 1) enqueue_unit(r[0]);
-    add_clause_internal(std::move(r));
+    add_clause_internal(r);
   }
   return true;
 }
@@ -447,20 +482,30 @@ void Preprocessor::compact(PreprocessResult& result) {
     if (occ_count_[pos(v).index()] + occ_count_[neg(v).index()] == 0) continue;
     map[v] = next++;
   }
-  Cnf out(next);
-  for (PClause& c : clauses_) {
-    if (c.deleted) continue;
-    // Rewrite in place and move: the map is monotone in the variable index,
-    // so remapped clauses stay sorted and the solver's normalized fast path
-    // can ingest them without another sort or copy.
-    for (Lit& l : c.lits) l = Lit(map[l.var()], l.negated());
-    stats_.simplified_literals += c.lits.size();
-    out.add_clause(std::move(c.lits));
+  // Rewrite live clauses into a fresh, garbage-free arena — this is the
+  // post-presimplify GC: everything the techniques deleted or shrank away is
+  // dropped here, and the solver adopts the compacted buffer as-is. The map
+  // is monotone in the variable index, so remapped clauses stay sorted and
+  // the solver can watch lits[0]/lits[1] without another sort.
+  const std::size_t live_words =
+      arena_.used_words() - arena_.wasted_words();
+  ClauseArena out(live_words);
+  result.clauses.reserve(live_clauses_);
+  for (std::uint32_t ci = 0; ci < clauses_.size(); ++ci) {
+    if (dead(ci)) continue;
+    Lit* lits = clause_lits(ci);
+    const std::size_t n = clause_size(ci);
+    for (std::size_t i = 0; i < n; ++i) {
+      lits[i] = Lit(map[lits[i].var()], lits[i].negated());
+    }
+    stats_.simplified_literals += n;
+    result.clauses.push_back(out.alloc(lits, n, /*learnt=*/false));
   }
   stats_.simplified_vars = next;
-  stats_.simplified_clauses = out.num_clauses();
+  stats_.simplified_clauses = result.clauses.size();
   remapper_.set_map(std::move(map), next);
-  result.cnf = std::move(out);
+  result.arena = std::move(out);
+  result.num_vars = next;
 }
 
 PreprocessResult Preprocessor::run() {

@@ -11,18 +11,18 @@ namespace {
 }
 
 [[nodiscard]] bool clause_satisfied(const std::vector<std::uint8_t>& model,
-                                    const Clause& c) {
-  for (Lit l : c) {
-    if (lit_true(model, l)) return true;
+                                    const Lit* lits, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lit_true(model, lits[i])) return true;
   }
   return false;
 }
 
 /// True when some literal other than `skip` satisfies the clause.
 [[nodiscard]] bool satisfied_without(const std::vector<std::uint8_t>& model,
-                                     const Clause& c, Lit skip) {
-  for (Lit l : c) {
-    if (l != skip && lit_true(model, l)) return true;
+                                     const Lit* lits, std::size_t n, Lit skip) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lits[i] != skip && lit_true(model, lits[i])) return true;
   }
   return false;
 }
@@ -49,29 +49,33 @@ std::vector<std::uint8_t> Remapper::reconstruct(
   // Replay eliminations newest-first. Each entry's clauses only mention
   // variables that were still in the formula when the entry was pushed, and
   // those all received their final values either from the solver model or
-  // from a later (already replayed) entry.
+  // from a later (already replayed) entry. Entry clauses are (begin, len)
+  // spans over the shared literal pool.
   for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
     const Entry& e = *it;
     switch (e.kind) {
-      case Entry::Kind::kUnit:
-      case Entry::Kind::kPure:
+      case Kind::kUnit:
+      case Kind::kPure:
         full[e.lit.var()] = e.lit.negated() ? 0 : 1;
         break;
-      case Entry::Kind::kBlocked:
+      case Kind::kBlocked: {
         // Blocked clause: all resolvents on e.lit were tautological, so
         // making e.lit true cannot unsatisfy any clause that was still alive.
-        if (!clause_satisfied(full, e.clauses[0])) {
+        const Span& s = spans_[e.clause_begin];
+        if (!clause_satisfied(full, pool_.data() + s.begin, s.len)) {
           full[e.lit.var()] = e.lit.negated() ? 0 : 1;
         }
         break;
-      case Entry::Kind::kEliminated: {
+      }
+      case Kind::kEliminated: {
         // BVE: clauses on the e.lit side were stored. Default the variable
         // to falsify e.lit (satisfying the other side); if that leaves one
         // of the stored clauses unsatisfied, flip it — resolvent
         // satisfaction guarantees the other side then holds on its own.
         full[e.lit.var()] = e.lit.negated() ? 1 : 0;
-        for (const Clause& c : e.clauses) {
-          if (!satisfied_without(full, c, e.lit)) {
+        for (std::uint32_t k = 0; k < e.clause_count; ++k) {
+          const Span& s = spans_[e.clause_begin + k];
+          if (!satisfied_without(full, pool_.data() + s.begin, s.len, e.lit)) {
             full[e.lit.var()] = e.lit.negated() ? 0 : 1;
             break;
           }

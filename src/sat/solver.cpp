@@ -1,10 +1,28 @@
 #include "msropm/sat/solver.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace msropm::sat {
+
+namespace {
+
+// The stale-reference invariant is verified after every reduce_learnts()/GC
+// in debug builds and in sanitizer builds (MSROPM_SAT_CHECK_INVARIANTS is
+// defined by the MSROPM_SANITIZE CMake presets, which otherwise compile with
+// NDEBUG): a violation here is exactly the use-after-free class ASan/TSan
+// hunt for, so it must not be compiled out of those builds.
+#if !defined(NDEBUG) || defined(MSROPM_SAT_CHECK_INVARIANTS)
+constexpr bool kCheckInvariants = true;
+#else
+constexpr bool kCheckInvariants = false;
+#endif
+
+}  // namespace
 
 Solver::Solver(const Cnf& cnf, SolverOptions options) : options_(options) {
   if (options_.presimplify) {
@@ -27,8 +45,8 @@ Solver::Solver(const Cnf& cnf, SolverOptions options) : options_(options) {
       cancelled_ = true;
       return;
     }
-    // Preprocessor output is normalized; move its clauses straight in.
-    init_from_normalized(pre.cnf.num_vars(), pre.cnf.release_clauses());
+    // Preprocessor output already lives in an arena; adopt it wholesale.
+    adopt_arena(pre.num_vars, std::move(pre.arena), std::move(pre.clauses));
   } else {
     init_from(cnf);
   }
@@ -45,15 +63,13 @@ void Solver::setup_arrays(std::size_t num_vars) {
   seen_.assign(num_vars, 0);
 }
 
-void Solver::ingest_clause(Clause&& lits, bool normalized) {
+void Solver::ingest_clause(Clause&& lits, std::vector<ClauseRef>& stored) {
   if (!ok_) return;
-  if (!normalized) {
-    // Normalize: drop duplicate literals; detect tautologies.
-    std::sort(lits.begin(), lits.end());
-    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
-    for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
-      if (lits[i].var() == lits[i + 1].var()) return;  // tautology
-    }
+  // Normalize: drop duplicate literals; detect tautologies.
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i].var() == lits[i + 1].var()) return;  // tautology
   }
   if (lits.empty()) {
     ok_ = false;
@@ -68,65 +84,122 @@ void Solver::ingest_clause(Clause&& lits, bool normalized) {
     return;
   }
   for (Lit l : lits) activity_[l.var()] += 1.0;
-  clauses_.push_back(InternalClause{std::move(lits), 0.0, false, false});
-  attach_clause(static_cast<std::uint32_t>(clauses_.size() - 1));
+  stored.push_back(arena_.alloc(lits, /*learnt=*/false));
+}
+
+void Solver::build_watches(const std::vector<ClauseRef>& refs) {
+  // Exact-reserve watch construction: the old design paid the first-grow
+  // allocation of every watch list plus log-many regrows as ingestion
+  // appended clause by clause. Counting first makes it one allocation per
+  // non-empty literal list — O(vars), independent of the clause count.
+  std::vector<std::uint32_t> counts(2 * num_vars_, 0);
+  for (ClauseRef cr : refs) {
+    const Lit* lits = arena_.lits(cr);
+    ++counts[(~lits[0]).index()];
+    ++counts[(~lits[1]).index()];
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > 0) watches_[i].reserve(counts[i]);
+  }
+  // Attach in ingestion order: watch-list contents end up identical to the
+  // old one-at-a-time scheme, so propagation visits clauses in the same
+  // order and the search is bit-identical.
+  for (ClauseRef cr : refs) attach_clause(cr);
 }
 
 void Solver::init_from(const Cnf& cnf) {
   setup_arrays(cnf.num_vars());
-  clauses_.reserve(cnf.num_clauses());
+  std::vector<ClauseRef> stored;
+  stored.reserve(cnf.num_clauses());
   std::size_t ingested = 0;
   for (const Clause& c : cnf.clauses()) {
     if ((ingested++ & 2047) == 0 && options_.stop.stop_requested()) {
       // Partial clause DB: any UNSAT already derived (ok_ == false) is sound
       // for the full formula, but SAT is not — solve() returns kUnknown.
       cancelled_ = true;
-      return;
+      break;
     }
-    ingest_clause(Clause(c), /*normalized=*/false);
-    if (!ok_) return;
+    // Copy into the reused scratch buffer: ingestion allocates literal
+    // storage only in the arena, never one vector per clause.
+    ingest_scratch_.assign(c.begin(), c.end());
+    ingest_clause(std::move(ingest_scratch_), stored);
+    if (!ok_) break;
   }
+  // On early exit (top-level conflict or cancellation) solve() returns
+  // before propagating, so attaching the partial DB is harmless — and it
+  // keeps the clause_refs_clean invariant trivially true.
+  build_watches(stored);
 }
 
-void Solver::init_from_normalized(std::size_t num_vars,
-                                  std::vector<Clause>&& clauses) {
+void Solver::adopt_arena(std::size_t num_vars, ClauseArena&& arena,
+                         std::vector<ClauseRef>&& refs) {
   setup_arrays(num_vars);
-  clauses_.reserve(clauses.size());
+  arena_ = std::move(arena);
   std::size_t ingested = 0;
-  for (Clause& c : clauses) {
+  std::size_t kept = 0;
+  for (ClauseRef cr : refs) {
     if ((ingested++ & 2047) == 0 && options_.stop.stop_requested()) {
       cancelled_ = true;
-      return;
+      break;
     }
-    ingest_clause(std::move(c), /*normalized=*/true);
-    if (!ok_) return;
+    const std::size_t n = arena_.size(cr);
+    const Lit* lits = arena_.lits(cr);
+    if (n == 0) {
+      ok_ = false;
+      break;
+    }
+    if (n == 1) {
+      const Lit unit = lits[0];
+      // Unit clauses become trail entries, not stored clauses; their record
+      // is garbage the next GC reclaims.
+      arena_.free_clause(cr);
+      if (value(unit) == LBool::kFalse) {
+        ok_ = false;
+        break;
+      }
+      if (value(unit) == LBool::kUndef) enqueue(unit, kNoReason);
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) activity_[lits[i].var()] += 1.0;
+    refs[kept++] = cr;
   }
+  refs.resize(kept);
+  build_watches(refs);
 }
 
-void Solver::attach_clause(std::uint32_t ci) {
-  const auto& lits = clauses_[ci].lits;
-  watches_[(~lits[0]).index()].push_back(ci);
-  watches_[(~lits[1]).index()].push_back(ci);
+void Solver::attach_clause(ClauseRef cr) {
+  const Lit* lits = arena_.lits(cr);
+  watches_[(~lits[0]).index()].push_back(cr);
+  watches_[(~lits[1]).index()].push_back(cr);
 }
 
-void Solver::enqueue(Lit l, std::uint32_t reason) {
+void Solver::enqueue(Lit l, ClauseRef reason) {
   assigns_[l.var()] = l.negated() ? LBool::kFalse : LBool::kTrue;
   level_[l.var()] = static_cast<std::uint32_t>(trail_lim_.size());
   reason_[l.var()] = reason;
   trail_.push_back(l);
 }
 
-std::uint32_t Solver::propagate() {
+ClauseRef Solver::propagate() {
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];
     ++stats_.propagations;
     auto& watch_list = watches_[p.index()];
     std::size_t keep = 0;
     for (std::size_t i = 0; i < watch_list.size(); ++i) {
-      const std::uint32_t ci = watch_list[i];
-      InternalClause& c = clauses_[ci];
-      if (c.deleted) continue;  // lazily dropped from watch lists
-      auto& lits = c.lits;
+      const ClauseRef ci = watch_list[i];
+      // Deleted clauses never linger in watch lists: reduce_learnts purges
+      // them eagerly before returning (clause_refs_clean invariant). The
+      // check must survive into sanitizer builds — a deleted record still
+      // lives inside the arena vector, so ASan cannot catch this itself.
+      if constexpr (kCheckInvariants) {
+        if (arena_.deleted(ci)) {
+          std::fprintf(stderr, "FATAL: deleted clause in watch list\n");
+          std::abort();
+        }
+      }
+      Lit* lits = arena_.lits(ci);
+      const std::size_t n = arena_.size(ci);
       // Ensure the falsified literal (~p) sits at position 1.
       const Lit false_lit = ~p;
       if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
@@ -137,7 +210,7 @@ std::uint32_t Solver::propagate() {
       }
       // Look for a new literal to watch.
       bool moved = false;
-      for (std::size_t k = 2; k < lits.size(); ++k) {
+      for (std::size_t k = 2; k < n; ++k) {
         if (value(lits[k]) != LBool::kFalse) {
           std::swap(lits[1], lits[k]);
           watches_[(~lits[1]).index()].push_back(ci);
@@ -165,18 +238,25 @@ std::uint32_t Solver::propagate() {
 }
 
 bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels) {
-  // Recursive minimization (iterative with explicit stack).
-  std::vector<Lit> stack{l};
-  std::vector<Var> to_clear;
+  // Recursive minimization (iterative with an explicit stack; both stacks
+  // are member scratch buffers, so this allocates nothing per conflict).
+  auto& stack = minimize_stack_;
+  auto& to_clear = minimize_clear_;
+  stack.clear();
+  to_clear.clear();
+  stack.push_back(l);
   while (!stack.empty()) {
     const Lit cur = stack.back();
     stack.pop_back();
-    const std::uint32_t r = reason_[cur.var()];
+    const ClauseRef r = reason_[cur.var()];
     if (r == kNoReason) {
       for (Var v : to_clear) seen_[v] = 0;
       return false;
     }
-    for (Lit q : clauses_[r].lits) {
+    const Lit* lits = arena_.lits(r);
+    const std::size_t n = arena_.size(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Lit q = lits[i];
       if (q.var() == cur.var() || seen_[q.var()] || level_[q.var()] == 0) continue;
       const std::uint32_t lvl_mask = 1u << (level_[q.var()] & 31u);
       if (reason_[q.var()] == kNoReason || (lvl_mask & abstract_levels) == 0) {
@@ -194,7 +274,7 @@ bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels) {
   return true;
 }
 
-void Solver::analyze(std::uint32_t conflict, std::vector<Lit>& learnt_out,
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt_out,
                      std::uint32_t& backtrack_level) {
   learnt_out.clear();
   learnt_out.push_back(Lit{});  // slot for the asserting literal
@@ -202,14 +282,17 @@ void Solver::analyze(std::uint32_t conflict, std::vector<Lit>& learnt_out,
   int counter = 0;
   Lit p{};
   bool have_p = false;
-  std::uint32_t reason_clause = conflict;
+  ClauseRef reason_clause = conflict;
   std::size_t trail_index = trail_.size();
-  std::vector<Var> cleanup;
+  auto& cleanup = analyze_cleanup_;
+  cleanup.clear();
 
   for (;;) {
-    InternalClause& c = clauses_[reason_clause];
-    if (c.learnt) bump_clause(c);
-    for (Lit q : c.lits) {
+    if (arena_.learnt(reason_clause)) bump_clause(reason_clause);
+    const Lit* lits = arena_.lits(reason_clause);
+    const std::size_t n = arena_.size(reason_clause);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Lit q = lits[i];
       if (have_p && q.var() == p.var()) continue;
       if (!seen_[q.var()] && level_[q.var()] > 0) {
         seen_[q.var()] = 1;
@@ -301,10 +384,13 @@ void Solver::bump_var(Var v) {
   }
 }
 
-void Solver::bump_clause(InternalClause& c) {
-  c.activity += clause_inc_;
-  if (c.activity > 1e20) {
-    for (std::uint32_t ci : learnt_indices_) clauses_[ci].activity *= 1e-20;
+void Solver::bump_clause(ClauseRef cr) {
+  const double bumped = arena_.activity(cr) + clause_inc_;
+  arena_.set_activity(cr, bumped);
+  if (bumped > 1e20) {
+    for (ClauseRef lr : learnt_refs_) {
+      arena_.set_activity(lr, arena_.activity(lr) * 1e-20);
+    }
     clause_inc_ *= 1e-20;
   }
 }
@@ -317,33 +403,81 @@ void Solver::decay_activities() {
 void Solver::reduce_learnts() {
   // Remove the lower-activity half of the learnt clauses that are not
   // currently reasons and are longer than binary.
-  std::vector<std::uint32_t> candidates;
-  for (std::uint32_t ci : learnt_indices_) {
-    if (clauses_[ci].deleted) continue;
-    candidates.push_back(ci);
-  }
+  auto& candidates = reduce_candidates_;
+  candidates.clear();
+  for (ClauseRef cr : learnt_refs_) candidates.push_back(cr);
   std::sort(candidates.begin(), candidates.end(),
-            [this](std::uint32_t a, std::uint32_t b) {
-              return clauses_[a].activity < clauses_[b].activity;
+            [this](ClauseRef a, ClauseRef b) {
+              return arena_.activity(a) < arena_.activity(b);
             });
-  std::vector<std::uint8_t> is_reason(clauses_.size(), 0);
+  // Reason-lock via the arena's scratch mark bit: every var with a non-null
+  // reason is on the trail, so this covers exactly the locked clauses.
   for (Lit l : trail_) {
-    if (reason_[l.var()] != kNoReason) is_reason[reason_[l.var()]] = 1;
+    if (reason_[l.var()] != kNoReason) arena_.set_mark(reason_[l.var()], true);
   }
   std::size_t removed = 0;
   for (std::size_t i = 0; i < candidates.size() / 2; ++i) {
-    InternalClause& c = clauses_[candidates[i]];
-    if (is_reason[candidates[i]] || c.lits.size() <= 2) continue;
-    c.deleted = true;
-    c.lits.clear();
-    c.lits.shrink_to_fit();
+    const ClauseRef cr = candidates[i];
+    if (arena_.marked(cr) || arena_.size(cr) <= 2) continue;
+    arena_.free_clause(cr);
     ++removed;
   }
+  for (Lit l : trail_) {
+    if (reason_[l.var()] != kNoReason) arena_.set_mark(reason_[l.var()], false);
+  }
   stats_.removed_learnts += removed;
-  learnt_indices_.erase(
-      std::remove_if(learnt_indices_.begin(), learnt_indices_.end(),
-                     [this](std::uint32_t ci) { return clauses_[ci].deleted; }),
-      learnt_indices_.end());
+  learnt_refs_.erase(
+      std::remove_if(learnt_refs_.begin(), learnt_refs_.end(),
+                     [this](ClauseRef cr) { return arena_.deleted(cr); }),
+      learnt_refs_.end());
+  if (removed > 0) purge_watches();
+  if (kCheckInvariants && !clause_refs_clean()) {
+    std::fprintf(stderr,
+                 "FATAL: stale clause reference after reduce_learnts\n");
+    std::abort();
+  }
+  note_arena_peak();
+  // Compact once a fifth of the buffer is tombstones — the proper fix for
+  // the old monotone-growth bug, not just a watch-list purge.
+  if (arena_.wasted_words() * 5 > arena_.used_words()) garbage_collect();
+}
+
+void Solver::purge_watches() {
+  for (auto& watch_list : watches_) {
+    watch_list.erase(
+        std::remove_if(watch_list.begin(), watch_list.end(),
+                       [this](ClauseRef cr) { return arena_.deleted(cr); }),
+        watch_list.end());
+  }
+}
+
+void Solver::garbage_collect() {
+  ClauseArena to(arena_.used_words() - arena_.wasted_words());
+  // Every live clause sits in exactly two watch lists, so relocating the
+  // watches covers the whole database; reasons and the learnt list then
+  // resolve through the forwarding refs.
+  for (auto& watch_list : watches_) {
+    for (ClauseRef& cr : watch_list) cr = arena_.reloc(cr, to);
+  }
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (reason_[v] != kNoReason) reason_[v] = arena_.reloc(reason_[v], to);
+  }
+  for (ClauseRef& cr : learnt_refs_) cr = arena_.reloc(cr, to);
+  to.carry_alloc_stats_from(arena_);
+  stats_.gc_freed_words += arena_.used_words() - to.used_words();
+  ++stats_.gc_runs;
+  arena_ = std::move(to);
+  if (kCheckInvariants && !clause_refs_clean()) {
+    std::fprintf(stderr, "FATAL: stale clause reference after arena GC\n");
+    std::abort();
+  }
+}
+
+void Solver::note_arena_peak() noexcept {
+  if (arena_.used_words() > stats_.arena_peak_words) {
+    stats_.arena_peak_words = arena_.used_words();
+  }
+  stats_.arena_alloc_words = arena_.alloc_words();
 }
 
 std::uint64_t Solver::luby(std::uint64_t i) noexcept {
@@ -409,11 +543,12 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
       options_.restart_base * luby(stats_.restarts);
 
   for (;;) {
-    const std::uint32_t conflict = propagate();
+    const ClauseRef conflict = propagate();
     if (conflict != kNoReason) {
       ++stats_.conflicts;
       if (trail_lim_.empty()) {
         ok_ = false;
+        note_arena_peak();
         return SolveResult::kUnsat;
       }
       std::uint32_t bt_level = 0;
@@ -422,26 +557,29 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
       if (learnt.size() == 1) {
         enqueue(learnt[0], kNoReason);
       } else {
-        clauses_.push_back(InternalClause{learnt, clause_inc_, true, false});
-        const auto ci = static_cast<std::uint32_t>(clauses_.size() - 1);
-        attach_clause(ci);
-        learnt_indices_.push_back(ci);
+        const ClauseRef cr = arena_.alloc(learnt, /*learnt=*/true);
+        arena_.set_activity(cr, clause_inc_);
+        attach_clause(cr);
+        learnt_refs_.push_back(cr);
         ++stats_.learnt_clauses;
-        enqueue(learnt[0], ci);
+        enqueue(learnt[0], cr);
       }
       decay_activities();
       if (options_.conflict_limit != 0 &&
           stats_.conflicts >= options_.conflict_limit) {
+        note_arena_peak();
         return SolveResult::kUnknown;
       }
       if ((stats_.conflicts & 255) == 0 && options_.stop.stop_requested()) {
         cancelled_ = true;
+        note_arena_peak();
         return SolveResult::kUnknown;
       }
       if (conflicts_until_restart > 0) --conflicts_until_restart;
     } else {
       if ((stats_.decisions & 127) == 0 && options_.stop.stop_requested()) {
         cancelled_ = true;
+        note_arena_peak();
         return SolveResult::kUnknown;
       }
       if (conflicts_until_restart == 0) {
@@ -449,7 +587,7 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
         backtrack(0);
         conflicts_until_restart = options_.restart_base * luby(stats_.restarts);
       }
-      if (learnt_indices_.size() >= learnt_cap) {
+      if (learnt_refs_.size() >= learnt_cap) {
         reduce_learnts();
         learnt_cap += learnt_cap / 2;
       }
@@ -462,6 +600,7 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
         }
         if (remapper_) model_ = remapper_->reconstruct(model_);
         backtrack(0);
+        note_arena_peak();
         return SolveResult::kSat;
       }
       ++stats_.decisions;
@@ -469,6 +608,24 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
       enqueue(*next, kNoReason);
     }
   }
+}
+
+bool Solver::clause_refs_clean() const noexcept {
+  const auto valid = [this](ClauseRef cr) {
+    return cr < arena_.used_words() && !arena_.deleted(cr);
+  };
+  for (const auto& watch_list : watches_) {
+    for (ClauseRef cr : watch_list) {
+      if (!valid(cr)) return false;
+    }
+  }
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (reason_[v] != kNoReason && !valid(reason_[v])) return false;
+  }
+  for (ClauseRef cr : learnt_refs_) {
+    if (!valid(cr)) return false;
+  }
+  return true;
 }
 
 std::optional<std::vector<std::uint8_t>> solve_cnf(const Cnf& cnf,

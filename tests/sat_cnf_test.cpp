@@ -88,6 +88,51 @@ TEST(DimacsCnf, RejectsMalformed) {
   EXPECT_THROW(read_dimacs_cnf_string("p cnf x 1\n"), std::runtime_error);
 }
 
+TEST(DimacsCnf, AcceptsSatlibPercentEofMarker) {
+  // SATLIB benchmark files end with a "%" line followed by a stray "0" (and
+  // sometimes trailing garbage); everything after the marker is ignored.
+  const Cnf cnf = read_dimacs_cnf_string(
+      "p cnf 3 2\n"
+      "1 -2 0\n"
+      "2 3 0\n"
+      "%\n"
+      "0\n"
+      "\n");
+  EXPECT_EQ(cnf.num_vars(), 3u);
+  EXPECT_EQ(cnf.num_clauses(), 2u);
+}
+
+TEST(DimacsCnf, PercentMarkerMidLineStopsParsing) {
+  const Cnf cnf = read_dimacs_cnf_string(
+      "p cnf 2 1\n"
+      "1 2 0 %\n"
+      "this is not DIMACS at all\n");
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+}
+
+TEST(DimacsCnf, RejectsClauseCountMismatch) {
+  // Fewer clauses than declared.
+  EXPECT_THROW(read_dimacs_cnf_string("p cnf 2 3\n1 2 0\n"), std::runtime_error);
+  // More clauses than declared.
+  EXPECT_THROW(read_dimacs_cnf_string("p cnf 2 1\n1 0\n2 0\n"),
+               std::runtime_error);
+  // Clauses hidden behind the EOF marker do not count.
+  EXPECT_THROW(read_dimacs_cnf_string("p cnf 2 2\n1 0\n%\n2 0\n"),
+               std::runtime_error);
+}
+
+TEST(Cnf, AddClauseMovesRvalueStorage) {
+  Cnf cnf(3);
+  Clause c{pos(0), neg(1), pos(2)};
+  const Lit* storage = c.data();
+  cnf.add_clause(std::move(c));
+  // The literal buffer must have been moved, not copied.
+  EXPECT_EQ(cnf.clauses()[0].data(), storage);
+  // Range validation still applies on the move path.
+  Clause bad{pos(7)};
+  EXPECT_THROW(cnf.add_clause(std::move(bad)), std::invalid_argument);
+}
+
 TEST(DimacsCnf, RoundTrip) {
   Cnf cnf(4);
   cnf.add_ternary(pos(0), neg(2), pos(3));

@@ -40,7 +40,7 @@ void check_equivalence(const Cnf& cnf, const PreprocessOptions& options,
         << label << ": preprocessing proved UNSAT on a satisfiable formula";
     return;
   }
-  Solver simplified(pre.cnf);
+  Solver simplified(pre.cnf());
   const SolveResult got = simplified.solve();
   ASSERT_EQ(got, expected) << label << ": verdict changed by preprocessing";
   if (got == SolveResult::kSat) {

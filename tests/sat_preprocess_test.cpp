@@ -28,7 +28,7 @@ TEST(Preprocess, EmptyFormula) {
   Cnf cnf(4);
   const auto r = preprocess(cnf);
   EXPECT_FALSE(r.unsat);
-  EXPECT_EQ(r.cnf.num_clauses(), 0u);
+  EXPECT_EQ(r.cnf().num_clauses(), 0u);
   EXPECT_EQ(r.stats.simplified_vars, 0u);
   // All four variables are unconstrained; reconstruction must still produce
   // a full-size model.
@@ -52,7 +52,7 @@ TEST(Preprocess, TautologyAndDuplicateRemoval) {
   const auto r = preprocess(cnf, only());
   EXPECT_EQ(r.stats.tautologies, 1u);
   EXPECT_EQ(r.stats.duplicate_clauses, 1u);
-  EXPECT_EQ(r.cnf.num_clauses(), 2u);
+  EXPECT_EQ(r.cnf().num_clauses(), 2u);
 }
 
 TEST(Preprocess, UnitPropagationToFixpoint) {
@@ -63,7 +63,7 @@ TEST(Preprocess, UnitPropagationToFixpoint) {
   cnf.add_binary(neg(1), pos(2));
   const auto r = preprocess(cnf, only(/*up=*/true));
   EXPECT_FALSE(r.unsat);
-  EXPECT_EQ(r.cnf.num_clauses(), 0u);
+  EXPECT_EQ(r.cnf().num_clauses(), 0u);
   EXPECT_EQ(r.stats.unit_fixed, 3u);
   const auto model = r.remapper.reconstruct({});
   ASSERT_EQ(model.size(), 3u);
@@ -90,7 +90,7 @@ TEST(Preprocess, PureLiteralElimination) {
   cnf.add_binary(pos(0), neg(1));
   cnf.add_binary(pos(0), pos(2));
   const auto r = preprocess(cnf, only(false, /*pure=*/true));
-  EXPECT_EQ(r.cnf.num_clauses(), 0u);
+  EXPECT_EQ(r.cnf().num_clauses(), 0u);
   EXPECT_GE(r.stats.pure_fixed, 1u);
   const auto model = r.remapper.reconstruct({});
   EXPECT_TRUE(cnf.satisfied_by(model));
@@ -102,7 +102,7 @@ TEST(Preprocess, PureLiteralBothPolaritiesUntouched) {
   cnf.add_binary(pos(0), pos(1));
   cnf.add_binary(neg(0), neg(1));
   const auto r = preprocess(cnf, only(false, /*pure=*/true));
-  EXPECT_EQ(r.cnf.num_clauses(), 2u);
+  EXPECT_EQ(r.cnf().num_clauses(), 2u);
   EXPECT_EQ(r.stats.pure_fixed, 0u);
 }
 
@@ -111,7 +111,7 @@ TEST(Preprocess, SubsumptionRemovesSuperset) {
   cnf.add_binary(pos(0), pos(1));
   cnf.add_ternary(pos(0), pos(1), pos(2));  // subsumed by the binary
   const auto r = preprocess(cnf, only(false, false, /*sub=*/true));
-  EXPECT_EQ(r.cnf.num_clauses(), 1u);
+  EXPECT_EQ(r.cnf().num_clauses(), 1u);
   EXPECT_EQ(r.stats.subsumed, 1u);
 }
 
@@ -124,7 +124,8 @@ TEST(Preprocess, SelfSubsumptionStrengthens) {
   const auto r =
       preprocess(cnf, only(false, false, /*sub=*/true, /*selfsub=*/true));
   EXPECT_GE(r.stats.strengthened, 1u);
-  for (const auto& c : r.cnf.clauses()) EXPECT_LE(c.size(), 2u);
+  const Cnf simplified = r.cnf();  // named: range-for over a temporary dangles
+  for (const auto& c : simplified.clauses()) EXPECT_LE(c.size(), 2u);
 }
 
 TEST(Preprocess, BlockedClauseEliminationOnAmoLadder) {
@@ -139,7 +140,7 @@ TEST(Preprocess, BlockedClauseEliminationOnAmoLadder) {
   EXPECT_GE(r.stats.blocked, 3u);
   // A model of the simplified formula that sets several colors must be
   // repaired by the reconstruction stack to satisfy the AMO clauses.
-  Solver s(r.cnf);
+  Solver s(r.cnf());
   ASSERT_EQ(s.solve(), SolveResult::kSat);
   const auto model = r.remapper.reconstruct(s.model());
   EXPECT_TRUE(cnf.satisfied_by(model));
@@ -155,7 +156,7 @@ TEST(Preprocess, BveEliminatesChainVariable) {
       preprocess(cnf, only(false, false, false, false, false, /*bve=*/true));
   EXPECT_GE(r.stats.eliminated_vars, 1u);
   // The resolvent (~x0 | x2) must survive.
-  Solver s(r.cnf);
+  Solver s(r.cnf());
   ASSERT_EQ(s.solve(), SolveResult::kSat);
   const auto model = r.remapper.reconstruct(s.model());
   EXPECT_TRUE(cnf.satisfied_by(model));
@@ -166,11 +167,9 @@ TEST(Remapper, BveReconstructionFlipsOnlyWhenForced) {
   // the positive side {(x0 | x1)} sits on the stack, x0 -> 0 and x2 -> 1 in
   // the simplified space.
   Remapper remapper(3);
-  Remapper::Entry entry;
-  entry.kind = Remapper::Entry::Kind::kEliminated;
-  entry.lit = pos(1);
-  entry.clauses = {Clause{pos(0), pos(1)}};
-  remapper.push(std::move(entry));
+  remapper.push(Remapper::Kind::kEliminated, pos(1));
+  const Clause stored{pos(0), pos(1)};
+  remapper.push_clause(stored.data(), stored.size());
   remapper.set_map({0, Remapper::kUnmapped, 1}, 2);
 
   // x0 false leaves (x0 | x1) unsatisfied: reconstruction must flip x1 on.
@@ -191,11 +190,9 @@ TEST(Remapper, BlockedClauseReconstruction) {
   // Clause (x0 | x1) was removed as blocked on x0; a model with both mapped
   // vars false must be repaired by setting the blocking literal true.
   Remapper remapper(2);
-  Remapper::Entry entry;
-  entry.kind = Remapper::Entry::Kind::kBlocked;
-  entry.lit = pos(0);
-  entry.clauses = {Clause{pos(0), pos(1)}};
-  remapper.push(std::move(entry));
+  remapper.push(Remapper::Kind::kBlocked, pos(0));
+  const Clause blocked{pos(0), pos(1)};
+  remapper.push_clause(blocked.data(), blocked.size());
   remapper.set_map({0, 1}, 2);
   const auto repaired = remapper.reconstruct({0, 0});
   EXPECT_EQ(repaired[0], 1);
@@ -213,7 +210,7 @@ TEST(Preprocess, BveRespectsGrowthCap) {
   const auto r =
       preprocess(cnf, only(false, false, false, false, false, /*bve=*/true));
   EXPECT_EQ(r.stats.eliminated_vars, 0u);
-  EXPECT_EQ(r.cnf.num_clauses(), 6u);
+  EXPECT_EQ(r.cnf().num_clauses(), 6u);
 }
 
 TEST(Preprocess, VariableCompaction) {
@@ -223,7 +220,7 @@ TEST(Preprocess, VariableCompaction) {
   cnf.add_binary(pos(0), pos(3));
   const auto r = preprocess(cnf, only(/*up=*/true));
   EXPECT_EQ(r.stats.simplified_vars, 2u);
-  EXPECT_EQ(r.cnf.num_vars(), 2u);
+  EXPECT_EQ(r.cnf().num_vars(), 2u);
   EXPECT_TRUE(r.remapper.map(0).has_value());
   EXPECT_FALSE(r.remapper.map(1).has_value()) << "fixed var must be unmapped";
   EXPECT_FALSE(r.remapper.map(2).has_value()) << "unconstrained var unmapped";
@@ -266,7 +263,7 @@ TEST(Preprocess, KingsGraphColoringRemovesOverTwentyPercent) {
   EXPECT_FALSE(r.unsat);
   EXPECT_GE(r.stats.clause_reduction(), 0.20)
       << "BCE must strip the at-most-one ladders";
-  Solver s(r.cnf);
+  Solver s(r.cnf());
   ASSERT_EQ(s.solve(), SolveResult::kSat);
   const auto model = r.remapper.reconstruct(s.model());
   EXPECT_TRUE(enc.cnf.satisfied_by(model));
