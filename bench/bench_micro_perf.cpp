@@ -10,6 +10,7 @@
 #include "msropm/graph/builders.hpp"
 #include "msropm/phase/network.hpp"
 #include "msropm/sat/coloring_encoder.hpp"
+#include "msropm/sat/solver.hpp"
 #include "msropm/solvers/maxcut_sa.hpp"
 #include "msropm/solvers/sa_potts.hpp"
 
@@ -64,6 +65,31 @@ void BM_SatExactColoring(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SatExactColoring)->Arg(7)->Arg(20)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// Propagation/decision hot-path microbench: raw CDCL on the direct encoding
+// (no presimplify), surfacing the watcher/heap counters — blocker_skips
+// (satisfied-blocker visits that skipped the arena), binary_propagations
+// (enqueues straight from implicit binary watchers) and heap_decisions
+// (decisions served by the VSIDS order heap after it engages at the first
+// conflict).
+void BM_SatPropagationHotPath(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::kings_graph_square(side);
+  const auto enc = sat::encode_coloring(g, 4);
+  sat::SolverStats last{};
+  for (auto _ : state) {
+    sat::Solver solver(enc.cnf, sat::SolverOptions{});
+    auto result = solver.solve();
+    benchmark::DoNotOptimize(result);
+    last = solver.stats();
+  }
+  state.counters["propagations"] = static_cast<double>(last.propagations);
+  state.counters["blocker_skips"] = static_cast<double>(last.blocker_skips);
+  state.counters["binary_props"] = static_cast<double>(last.binary_propagations);
+  state.counters["heap_decisions"] = static_cast<double>(last.heap_decisions);
+}
+BENCHMARK(BM_SatPropagationHotPath)->Arg(20)->Arg(46)
     ->Unit(benchmark::kMillisecond);
 
 void BM_SaPotts(benchmark::State& state) {

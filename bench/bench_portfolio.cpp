@@ -27,6 +27,7 @@
 
 #include "msropm/portfolio/portfolio.hpp"
 #include "msropm/portfolio/sweep.hpp"
+#include "msropm/util/bench_json.hpp"
 #include "msropm/util/table.hpp"
 
 namespace {
@@ -80,6 +81,7 @@ int main(int argc, char** argv) {
 
   util::TextTable table(
       {"configuration", "workers", "wall_ms", "decided", "vs_best_single"});
+  util::BenchJsonWriter json("bench_portfolio");
 
   // Single-strategy sweeps (serial): the baselines a portfolio must beat.
   double best_single_complete = std::numeric_limits<double>::max();
@@ -108,6 +110,11 @@ int main(int argc, char** argv) {
                    std::to_string(m.decided) + "/" +
                        std::to_string(instances.size()),
                    util::format_double(best_single_complete / m.wall_ms, 2)});
+    json.begin_row("single:" + name);
+    json.metric("workers", std::uint64_t{1});
+    json.metric("wall_ms", m.wall_ms);
+    json.metric("decided", static_cast<std::uint64_t>(m.decided));
+    json.metric("instances", static_cast<std::uint64_t>(instances.size()));
   }
 
   // Full portfolio at 1/2/4 workers. Verdicts must match the complete
@@ -131,6 +138,12 @@ int main(int argc, char** argv) {
                    std::to_string(m.decided) + "/" +
                        std::to_string(instances.size()),
                    util::format_double(best_single_complete / m.wall_ms, 2)});
+    json.begin_row("portfolio@" + std::to_string(workers));
+    json.metric("workers", static_cast<std::uint64_t>(workers));
+    json.metric("wall_ms", m.wall_ms);
+    json.metric("decided", static_cast<std::uint64_t>(m.decided));
+    json.metric("instances", static_cast<std::uint64_t>(instances.size()));
+    json.metric("vs_best_single", best_single_complete / m.wall_ms);
   }
 
   std::printf("%s", table.render().c_str());
@@ -141,6 +154,14 @@ int main(int argc, char** argv) {
       "%.2f ms -> %.2fx\n",
       instances.size(), reps, best_single_name.c_str(), best_single_complete,
       portfolio_at_4, speedup);
+  json.begin_row("summary");
+  json.metric("best_single", best_single_name);
+  json.metric("best_single_ms", best_single_complete);
+  json.metric("portfolio_at_4_ms", portfolio_at_4);
+  json.metric("speedup", speedup);
+  json.metric("reps", static_cast<std::int64_t>(reps));
+  const std::string json_path = json.write();
+  if (!json_path.empty()) std::printf("json: %s\n", json_path.c_str());
   if (!verdicts_ok) return 1;
   if (speedup < 1.0) {
     std::fprintf(stderr,

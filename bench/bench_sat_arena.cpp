@@ -28,6 +28,7 @@
 #include "msropm/sat/cnf.hpp"
 #include "msropm/sat/coloring_encoder.hpp"
 #include "msropm/sat/solver.hpp"
+#include "msropm/util/bench_json.hpp"
 #include "msropm/util/rng.hpp"
 #include "msropm/util/table.hpp"
 
@@ -116,6 +117,7 @@ int main() {
   util::TextTable table({"instance", "clauses", "alloc_construct",
                          "alloc_solve", "learnt", "result",
                          "solve_allocs_per_1k_learnt"});
+  util::BenchJsonWriter json("bench_sat_arena");
   bool ok = true;
 
   struct Row {
@@ -156,6 +158,13 @@ int main() {
                    std::to_string(m.construct_allocs),
                    std::to_string(m.solve_allocs), std::to_string(m.learnt),
                    result_name(m.result), util::format_double(per_1k, 1)});
+    json.begin_row(row.name);
+    json.metric("clauses", static_cast<std::uint64_t>(row.cnf.num_clauses()));
+    json.metric("alloc_construct", m.construct_allocs);
+    json.metric("alloc_solve", m.solve_allocs);
+    json.metric("learnt", m.learnt);
+    json.metric("conflicts", m.conflicts);
+    json.metric("result", result_name(m.result));
 
     // Zero-per-clause criteria:
     //  (a) ingestion allocations must scale with the variable count (watch
@@ -194,5 +203,7 @@ int main() {
   std::printf("counting allocator: %llu total allocations, %.1f MB\n",
               static_cast<unsigned long long>(g_allocs.load()),
               static_cast<double>(g_bytes.load()) / (1024.0 * 1024.0));
+  const std::string json_path = json.write();
+  if (!json_path.empty()) std::printf("json: %s\n", json_path.c_str());
   return ok ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 #include "msropm/sat/coloring_encoder.hpp"
 #include "msropm/sat/preprocess.hpp"
 #include "msropm/sat/solver.hpp"
+#include "msropm/util/bench_json.hpp"
 #include "msropm/util/rng.hpp"
 #include "msropm/util/table.hpp"
 
@@ -65,8 +66,9 @@ RunOutcome run(const sat::Cnf& cnf, sat::SolverOptions options) {
   return out;
 }
 
-void bench_instance(util::TextTable& table, const std::string& name,
-                    const sat::Cnf& cnf, sat::SolverOptions pre_options) {
+void bench_instance(util::TextTable& table, util::BenchJsonWriter& json,
+                    const std::string& name, const sat::Cnf& cnf,
+                    sat::SolverOptions pre_options) {
   pre_options.presimplify = true;
   const RunOutcome plain = run(cnf, sat::SolverOptions{});
   const RunOutcome pre = run(cnf, pre_options);
@@ -80,6 +82,13 @@ void bench_instance(util::TextTable& table, const std::string& name,
                                                           ? pre.seconds
                                                           : 1e-12),
                                      2)});
+  json.begin_row(name);
+  json.metric("vars", static_cast<std::uint64_t>(cnf.num_vars()));
+  json.metric("clauses", static_cast<std::uint64_t>(cnf.num_clauses()));
+  json.metric("pre_clauses", static_cast<std::uint64_t>(pre.simplified_clauses));
+  json.metric("result", result_name(plain.result));
+  json.metric("wall_ms_plain", 1e3 * plain.seconds);
+  json.metric("wall_ms_presimplify", 1e3 * pre.seconds);
 }
 
 /// Random simple graph with exactly m edges (coloring instances near the
@@ -121,6 +130,7 @@ int main(int argc, char** argv) {
   util::TextTable table({"instance", "vars", "clauses", "pre_clauses",
                          "removed_%", "result", "t_plain_s", "t_pre_s",
                          "speedup"});
+  util::BenchJsonWriter json("bench_sat_preprocess");
 
   // King's-graph rows use the coloring-tuned profile (what solve_exact_coloring
   // runs); generic DIMACS rows use the full default pipeline.
@@ -128,7 +138,7 @@ int main(int argc, char** argv) {
   for (const std::size_t side : {16u, 24u, 32u, 46u}) {
     const auto g = graph::kings_graph_square(side);
     const auto enc = sat::encode_coloring(g, 4);
-    bench_instance(table, "kings_" + std::to_string(side) + "x" +
+    bench_instance(table, json, "kings_" + std::to_string(side) + "x" +
                               std::to_string(side) + "_4col",
                    enc.cnf, coloring_profile);
   }
@@ -137,14 +147,14 @@ int main(int argc, char** argv) {
     sat::ColoringEncodeOptions encode_options;
     encode_options.symmetry_breaking = false;
     const auto enc = sat::encode_coloring(g, 4, encode_options);
-    bench_instance(table, "randgraph_90_4col_s" + std::to_string(seed), enc.cnf,
+    bench_instance(table, json, "randgraph_90_4col_s" + std::to_string(seed), enc.cnf,
                    coloring_profile);
   }
   for (const double ratio : {3.0, 4.2}) {
     const auto cnf = random_3sat(150, ratio, 7);
     // Round-trip through DIMACS so the text path is what gets benchmarked.
     const auto parsed = sat::read_dimacs_cnf_string(sat::write_dimacs_cnf_string(cnf));
-    bench_instance(table, "rand3sat_150_r" + util::format_double(ratio, 1),
+    bench_instance(table, json, "rand3sat_150_r" + util::format_double(ratio, 1),
                    parsed, sat::SolverOptions{});
   }
   for (int i = 1; i < argc; ++i) {
@@ -154,7 +164,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     try {
-      bench_instance(table, argv[i], sat::read_dimacs_cnf(in),
+      bench_instance(table, json, argv[i], sat::read_dimacs_cnf(in),
                      sat::SolverOptions{});
     } catch (const std::exception& ex) {
       std::fprintf(stderr, "error reading %s: %s\n", argv[i], ex.what());
@@ -163,5 +173,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s", table.render().c_str());
+  const std::string json_path = json.write();
+  if (!json_path.empty()) std::printf("json: %s\n", json_path.c_str());
   return 0;
 }

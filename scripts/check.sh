@@ -15,6 +15,15 @@
 #                                           # portfolio + stop-token + arena
 #                                           # cancellation tests under
 #                                           # ThreadSanitizer
+#   CHECK_BENCH=1 scripts/check.sh          # normal run, then additionally
+#                                           # run bench_sat_arena (hard gate:
+#                                           # allocation scaling) and
+#                                           # bench_portfolio (hard gates:
+#                                           # verdict identity at every
+#                                           # worker count, portfolio never
+#                                           # slower than the best single
+#                                           # strategy); both drop
+#                                           # bench_results/*.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -62,4 +71,16 @@ if [ "${CHECK_TSAN:-0}" = "1" ] && [ "${SANITIZE}" != "thread" ]; then
     sat_arena_test sat_arena_equivalence_test sat_solver_growth_test
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
     -R "^(portfolio_test|portfolio_cancel_test|util_stop_token_test|sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test)\$"
+fi
+
+# Perf-regression gates: bench_sat_arena exits nonzero when construction
+# allocations scale with the clause count (or search allocations with the
+# learnt count); bench_portfolio exits nonzero on any verdict mismatch
+# across worker counts or when the portfolio is slower than the best single
+# complete strategy. Both also emit bench_results/*.json so the numbers are
+# tracked, not just the pass/fail bit.
+if [ "${CHECK_BENCH:-0}" = "1" ] && [ "${SANITIZE}" = "OFF" ]; then
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_sat_arena bench_portfolio
+  "./${BUILD_DIR}/bench_sat_arena"
+  "./${BUILD_DIR}/bench_portfolio"
 fi

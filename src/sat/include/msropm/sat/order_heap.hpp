@@ -1,0 +1,137 @@
+#pragma once
+// VarOrderHeap: indexed binary max-heap over variables keyed by their VSIDS
+// activity (MiniSat `Heap<VarOrderLt>` style). pick_branch_lit() pops the
+// maximum-activity variable in O(log V) instead of the old O(V) linear scan
+// per decision; assigned variables are skipped lazily at pop time and
+// re-inserted when backtracking unassigns them.
+//
+// The heap reads activities through a pointer to the solver's activity
+// vector, so bump_var only has to sift the bumped variable up. A VSIDS
+// rescale (every activity multiplied by the same positive constant) only
+// ever weakens strict orderings into equalities (underflow can collapse
+// tiny keys to the same value), which the heap structure tolerates, so no
+// rebuild is needed. Ties present when an element is sifted break toward
+// the smaller variable index; ties *created later* by rescale underflow may
+// surface in whatever order the pre-rescale structure left them (MiniSat
+// behaves the same way). Either way the order is a deterministic function
+// of the operation history, so run-to-run bit-determinism holds.
+
+#include <cstdint>
+#include <vector>
+
+#include "msropm/sat/cnf.hpp"
+
+namespace msropm::sat {
+
+class VarOrderHeap {
+ public:
+  VarOrderHeap() = default;
+  explicit VarOrderHeap(const std::vector<double>* activity)
+      : activity_(activity) {}
+
+  void set_activity(const std::vector<double>* activity) noexcept {
+    activity_ = activity;
+  }
+
+  /// Heapify variables 0..num_vars-1 (replaces any previous content).
+  void build(std::size_t num_vars) {
+    heap_.resize(num_vars);
+    pos_.assign(num_vars, kAbsent);
+    for (std::size_t v = 0; v < num_vars; ++v) {
+      heap_[v] = static_cast<Var>(v);
+      pos_[v] = static_cast<std::uint32_t>(v);
+    }
+    if (heap_.empty()) return;
+    for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool contains(Var v) const noexcept {
+    return v < pos_.size() && pos_[v] != kAbsent;
+  }
+
+  /// Insert v (no-op if already present).
+  void insert(Var v) {
+    if (contains(v)) return;
+    if (v >= pos_.size()) pos_.resize(v + 1, kAbsent);
+    pos_[v] = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(v);
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Remove and return the maximum-activity variable.
+  Var pop() {
+    const Var top = heap_[0];
+    pos_[top] = kAbsent;
+    const Var last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty() && last != top) {
+      heap_[0] = last;
+      pos_[last] = 0;
+      sift_down(0);
+    }
+    return top;
+  }
+
+  /// Restore the heap property around v after its activity changed in either
+  /// direction (a VSIDS bump only increases it, but rescales and tests may
+  /// lower keys too). No-op when v is not in the heap.
+  void update(Var v) {
+    if (!contains(v)) return;
+    const std::size_t i = pos_[v];
+    sift_up(i);
+    sift_down(pos_[v]);
+  }
+
+  void clear() noexcept {
+    heap_.clear();
+    pos_.assign(pos_.size(), kAbsent);
+  }
+
+ private:
+  static constexpr std::uint32_t kAbsent = ~std::uint32_t{0};
+
+  /// Max-heap order: higher activity first, smaller index on ties.
+  [[nodiscard]] bool before(Var a, Var b) const noexcept {
+    const double aa = (*activity_)[a];
+    const double ab = (*activity_)[b];
+    if (aa != ab) return aa > ab;
+    return a < b;
+  }
+
+  void sift_up(std::size_t i) {
+    const Var v = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(v, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+      i = parent;
+    }
+    heap_[i] = v;
+    pos_[v] = static_cast<std::uint32_t>(i);
+  }
+
+  void sift_down(std::size_t i) {
+    const Var v = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+      if (!before(heap_[child], v)) break;
+      heap_[i] = heap_[child];
+      pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+      i = child;
+    }
+    heap_[i] = v;
+    pos_[v] = static_cast<std::uint32_t>(i);
+  }
+
+  const std::vector<double>* activity_ = nullptr;
+  std::vector<Var> heap_;
+  std::vector<std::uint32_t> pos_;  // var -> heap index, kAbsent if not present
+};
+
+}  // namespace msropm::sat

@@ -1,0 +1,103 @@
+#pragma once
+// Watcher + Reason: the hot-path types of the two-watched-literal scheme
+// (MiniSat 2.2 / cryptominisat `vec<Watched>` style).
+//
+// Watcher (8 bytes) — one entry of a watch list:
+//   cref     ClauseRef of the watched LONG (>= 3 literals) clause, or
+//            kBinaryWatcher for an implicit binary clause that has NO arena
+//            record at all.
+//   blocker  For a long clause: some literal of the clause (initially the
+//            other watched literal, refreshed opportunistically during
+//            propagation). If the blocker is already true the clause is
+//            satisfied and the visit skips the arena dereference entirely —
+//            on coloring encodings this is the common case.
+//            For a binary watcher in the list of literal p: the OTHER
+//            literal q of the clause (~p \/ q); the whole clause is encoded
+//            in the watch entry, so binary propagation never touches the
+//            arena, original binary clauses need no arena record at all,
+//            and GC never sees them.
+//
+// Binary and long watchers share one list per literal on purpose: each
+// propagated literal then walks a single contiguous array (one cache line
+// stream) instead of two separate list structures. Binaries are attached
+// first, so the is_binary() branch is almost perfectly predicted.
+//
+// Reason: why a variable was assigned. Tagged 8-byte union over
+//   - none      (decision / top-level unit)
+//   - clause    (a ClauseRef whose lits[0] is the asserted literal)
+//   - binary    (the OTHER literal of an implicit binary clause; for the
+//                assertion of q by (~p \/ q) that is ~p, the false literal)
+// Reason slots must be remapped on GC only in the clause case; binary
+// reasons are immune to clause-database relocation, which is what lets
+// implicit binaries skip GC work entirely.
+
+#include <cstdint>
+
+#include "msropm/sat/arena.hpp"
+#include "msropm/sat/cnf.hpp"
+
+namespace msropm::sat {
+
+/// Sentinel cref tagging an implicit binary watcher. Distinct from
+/// kNullClauseRef; the arena's overflow guard aborts long before real refs
+/// could reach either sentinel.
+inline constexpr ClauseRef kBinaryWatcher = kNullClauseRef - 1;
+
+struct Watcher {
+  ClauseRef cref = kNullClauseRef;
+  Lit blocker{};
+
+  [[nodiscard]] bool is_binary() const noexcept { return cref == kBinaryWatcher; }
+
+  [[nodiscard]] static Watcher binary(Lit other) noexcept {
+    return Watcher{kBinaryWatcher, other};
+  }
+  [[nodiscard]] static Watcher clause(ClauseRef cr, Lit blocker) noexcept {
+    return Watcher{cr, blocker};
+  }
+
+  friend bool operator==(Watcher, Watcher) = default;
+};
+
+class Reason {
+ public:
+  constexpr Reason() = default;
+
+  [[nodiscard]] static Reason none() noexcept { return Reason{}; }
+  [[nodiscard]] static Reason clause(ClauseRef cr) noexcept {
+    Reason r;
+    r.cref_ = cr;
+    return r;
+  }
+  [[nodiscard]] static Reason binary(Lit other) noexcept {
+    Reason r;
+    r.cref_ = kBinaryTag;
+    r.other_ = other;
+    return r;
+  }
+
+  [[nodiscard]] bool is_none() const noexcept { return cref_ == kNullClauseRef; }
+  [[nodiscard]] bool is_binary() const noexcept { return cref_ == kBinaryTag; }
+  [[nodiscard]] bool is_clause() const noexcept {
+    return cref_ != kNullClauseRef && cref_ != kBinaryTag;
+  }
+
+  /// Valid only when is_clause().
+  [[nodiscard]] ClauseRef cref() const noexcept { return cref_; }
+  /// GC remap hook; callers must only use it when is_clause().
+  void set_cref(ClauseRef cr) noexcept { cref_ = cr; }
+  /// The other (false) literal of the implicit binary clause; only binary.
+  [[nodiscard]] Lit other() const noexcept { return other_; }
+
+  friend bool operator==(Reason, Reason) = default;
+
+ private:
+  /// Distinct from kNullClauseRef; the arena's overflow guard aborts long
+  /// before real refs could reach either sentinel.
+  static constexpr ClauseRef kBinaryTag = kNullClauseRef - 1;
+
+  ClauseRef cref_ = kNullClauseRef;
+  Lit other_{};
+};
+
+}  // namespace msropm::sat

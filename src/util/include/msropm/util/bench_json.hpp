@@ -1,0 +1,97 @@
+#pragma once
+// Machine-readable bench output: every bench_* binary renders its human
+// table AND drops a bench_results/<name>.json next to the working directory
+// so the perf trajectory across PRs is diffable/plottable instead of living
+// in commit-message prose.
+//
+// Schema (stable, append-only):
+//   {
+//     "bench": "<bench name>",
+//     "rows": [ {"name": "<row>", "<metric>": <number|string>, ...}, ... ]
+//   }
+// Metrics are flat key/value pairs per row; numbers are emitted as-is,
+// strings JSON-escaped. Header-only, no dependencies beyond <filesystem>.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msropm::util {
+
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Start a new result row; subsequent metric() calls attach to it.
+  void begin_row(const std::string& name) {
+    rows_.emplace_back();
+    metric("name", name);
+  }
+
+  void metric(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    rows_.back().emplace_back(key, buf);
+  }
+  void metric(const std::string& key, std::uint64_t value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+  }
+  void metric(const std::string& key, std::int64_t value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+  }
+  void metric(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, "\"" + escape(value) + "\"");
+  }
+  void metric(const std::string& key, const char* value) {
+    metric(key, std::string(value));
+  }
+
+  /// Serialize to bench_results/<bench>.json under `dir` (default: CWD).
+  /// Returns the path written, or an empty string when the filesystem said
+  /// no (benches must keep running on read-only checkouts).
+  std::string write(const std::string& dir = "bench_results") const {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) return {};
+    const std::string path = dir + "/" + bench_name_ + ".json";
+    std::ofstream out(path);
+    if (!out) return {};
+    out << "{\n  \"bench\": \"" << escape(bench_name_) << "\",\n  \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << (r == 0 ? "\n" : ",\n") << "    {";
+      for (std::size_t m = 0; m < rows_[r].size(); ++m) {
+        if (m > 0) out << ", ";
+        out << '"' << escape(rows_[r][m].first) << "\": " << rows_[r][m].second;
+      }
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+    return out ? path : std::string{};
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += "?";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  // Pre-serialized (key, json-value) pairs per row.
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+}  // namespace msropm::util

@@ -1,16 +1,29 @@
-// Arena-equivalence harness: the ClauseArena port of the CDCL solver must be
-// bit-identical in behavior to the pre-arena (vector-of-vectors) solver —
-// same verdicts, same models, same decision/propagation/conflict/restart/
-// learnt/removed counts. The pre-arena implementation (PR 1/2 solver.cpp,
-// minus presimplify/cancellation plumbing, which do not touch the search) is
-// embedded below as `reference::Solver` and both solvers are run over
-// hundreds of random CNFs with a learnt cap small enough to force many
-// learnt-DB reductions and arena GCs.
+// Equivalence harness for the CDCL solver against the embedded pre-arena
+// reference implementation (`reference::Solver`, the PR 1/2 solver minus
+// presimplify/cancellation plumbing). Both solvers run over hundreds of
+// random CNFs with a learnt cap small enough to force many learnt-DB
+// reductions and arena GCs.
+//
+// Determinism contract (recalibrated for the watcher/heap overhaul): the
+// production solver's search legally diverges from the reference on
+// propagation order (implicit binaries propagate before long clauses) and
+// learnt-DB composition (binary learnts are implicit and unreducible), so
+// step counts and concrete models are no longer bit-matched against the
+// reference. What stays HARD-GATED on every formula:
+//   - verdict identity with the reference solver (SAT/UNSAT/UNKNOWN-limit),
+//   - any SAT model must satisfy the original formula,
+//   - run-to-run bit-determinism: two runs of the production solver produce
+//     identical stats and identical models,
+//   - clause_refs_clean() (no stale watcher/reason/learnt refs after GC).
+// Step-identity with the reference (decision/propagation/conflict counts)
+// is measured and REPORTED via a summary, not asserted.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "msropm/sat/cnf.hpp"
@@ -459,37 +472,76 @@ SolverOptions stress_options() {
   return options;
 }
 
-void expect_stats_equal(const SolverStats& got, const reference::Stats& want,
-                        const std::string& label) {
-  EXPECT_EQ(got.decisions, want.decisions) << label;
-  EXPECT_EQ(got.propagations, want.propagations) << label;
-  EXPECT_EQ(got.conflicts, want.conflicts) << label;
-  EXPECT_EQ(got.restarts, want.restarts) << label;
-  EXPECT_EQ(got.learnt_clauses, want.learnt_clauses) << label;
-  EXPECT_EQ(got.removed_learnts, want.removed_learnts) << label;
+/// Hard gate: two runs of the production solver must agree bit-for-bit.
+void expect_run_to_run_identical(const SolverStats& a, const SolverStats& b,
+                                 const std::string& label) {
+  EXPECT_EQ(a.decisions, b.decisions) << label;
+  EXPECT_EQ(a.propagations, b.propagations) << label;
+  EXPECT_EQ(a.conflicts, b.conflicts) << label;
+  EXPECT_EQ(a.restarts, b.restarts) << label;
+  EXPECT_EQ(a.learnt_clauses, b.learnt_clauses) << label;
+  EXPECT_EQ(a.removed_learnts, b.removed_learnts) << label;
+  EXPECT_EQ(a.blocker_skips, b.blocker_skips) << label;
+  EXPECT_EQ(a.binary_propagations, b.binary_propagations) << label;
+  EXPECT_EQ(a.heap_decisions, b.heap_decisions) << label;
 }
 
+/// Reported (not asserted) step-identity bookkeeping vs the reference.
+struct StepDivergence {
+  int trials = 0;
+  int step_identical = 0;
+
+  void note(const SolverStats& got, const reference::Stats& want) {
+    ++trials;
+    if (got.decisions == want.decisions &&
+        got.propagations == want.propagations &&
+        got.conflicts == want.conflicts && got.restarts == want.restarts) {
+      ++step_identical;
+    }
+  }
+  void report(const char* name) const {
+    // Search steps legally diverge (binaries-first propagation, implicit
+    // binary learnts); the count is recorded so trend shifts are visible.
+    std::printf("[ STEPS    ] %s: %d/%d trials step-identical to the "
+                "pre-watcher reference (informational)\n",
+                name, step_identical, trials);
+  }
+};
+
 void check_identity(const Cnf& cnf, const SolverOptions& options,
-                    const std::string& label, std::uint64_t* gc_total = nullptr) {
+                    const std::string& label, std::uint64_t* gc_total = nullptr,
+                    StepDivergence* steps = nullptr) {
   reference::Solver ref(cnf, options);
   const SolveResult expected = ref.solve();
 
   Solver arena_solver(cnf, options);
   const SolveResult got = arena_solver.solve();
   ASSERT_EQ(got, expected) << label << ": verdict diverged from pre-arena solver";
-  expect_stats_equal(arena_solver.stats(), ref.stats(), label);
   if (expected == SolveResult::kSat) {
-    EXPECT_EQ(arena_solver.model(), ref.model())
-        << label << ": model diverged from pre-arena solver";
+    EXPECT_TRUE(cnf.satisfied_by(arena_solver.model()))
+        << label << ": model does not satisfy the formula";
   }
   EXPECT_TRUE(arena_solver.clause_refs_clean()) << label;
+
+  // Run-to-run bit-determinism: a second solve over the same inputs must
+  // replay the exact same search.
+  Solver rerun(cnf, options);
+  ASSERT_EQ(rerun.solve(), got) << label << ": rerun verdict diverged";
+  expect_run_to_run_identical(arena_solver.stats(), rerun.stats(), label);
+  if (got == SolveResult::kSat) {
+    EXPECT_EQ(arena_solver.model(), rerun.model())
+        << label << ": rerun model diverged";
+  }
+
+  if (steps != nullptr) steps->note(arena_solver.stats(), ref.stats());
   if (gc_total != nullptr) *gc_total += arena_solver.stats().gc_runs;
 }
 
-TEST(ArenaEquivalence, RandomizedVerdictModelAndStatsIdentity) {
+TEST(ArenaEquivalence, RandomizedVerdictModelAndDeterminism) {
   msropm::util::Rng rng(20260730);
   int trials = 0;
   std::uint64_t gc_total = 0;
+  StepDivergence steps;
   for (const double ratio : {1.5, 3.0, 4.26, 6.0, 9.0}) {
     for (int t = 0; t < 35; ++t) {
       const std::size_t vars = 12 + rng.uniform_index(28);  // 12..39
@@ -499,7 +551,7 @@ TEST(ArenaEquivalence, RandomizedVerdictModelAndStatsIdentity) {
       check_identity(cnf, stress_options(),
                      "3cnf ratio=" + std::to_string(ratio) +
                          " trial=" + std::to_string(t),
-                     &gc_total);
+                     &gc_total, &steps);
       ++trials;
     }
   }
@@ -507,24 +559,25 @@ TEST(ArenaEquivalence, RandomizedVerdictModelAndStatsIdentity) {
     const std::size_t vars = 8 + rng.uniform_index(16);
     const Cnf cnf = random_cnf(rng, vars, 3 * vars, 5);
     check_identity(cnf, stress_options(), "mixed trial=" + std::to_string(t),
-                   &gc_total);
+                   &gc_total, &steps);
     ++trials;
   }
   for (int t = 0; t < 10; ++t) {
     // Near-threshold instances big enough (>=110 vars) to go through
     // hundreds of conflicts, many learnt-DB reductions, and several arena
-    // GCs — identity must hold across all of them.
+    // GCs — the determinism gates must hold across all of them.
     const std::size_t vars = 110 + rng.uniform_index(30);
     const auto clauses =
         static_cast<std::size_t>(4.26 * static_cast<double>(vars)) + 1;
     const Cnf cnf = random_cnf(rng, vars, clauses, 3);
     check_identity(cnf, stress_options(), "gc trial=" + std::to_string(t),
-                   &gc_total);
+                   &gc_total, &steps);
     ++trials;
   }
   EXPECT_GE(trials, 200) << "harness must cover 200+ formulas";
   EXPECT_GT(gc_total, 0u)
       << "stress options must actually exercise the arena GC";
+  steps.report("randomized");
 }
 
 TEST(ArenaEquivalence, DefaultOptionsIdentity) {
@@ -538,21 +591,45 @@ TEST(ArenaEquivalence, DefaultOptionsIdentity) {
   }
 }
 
-TEST(ArenaEquivalence, ConflictLimitIdentity) {
+TEST(ArenaEquivalence, ConflictLimitSoundnessAndDeterminism) {
+  // Under a conflict limit the two solvers may legally disagree on WHETHER
+  // the limit was hit (their trajectories differ), so verdict identity is
+  // only required when both runs completed; a definitive answer must never
+  // contradict the reference's definitive answer, any model must satisfy
+  // the formula, and reruns must be bit-identical.
   msropm::util::Rng rng(13);
   for (int t = 0; t < 20; ++t) {
     const std::size_t vars = 30 + rng.uniform_index(20);
     const Cnf cnf = random_cnf(rng, vars, 5 * vars, 3);
     SolverOptions options = stress_options();
     options.conflict_limit = 40 + 10 * static_cast<std::uint64_t>(t);
-    check_identity(cnf, options, "climit trial=" + std::to_string(t));
+    const std::string label = "climit trial=" + std::to_string(t);
+
+    reference::Solver ref(cnf, options);
+    const SolveResult expected = ref.solve();
+
+    Solver solver(cnf, options);
+    const SolveResult got = solver.solve();
+    if (got != SolveResult::kUnknown && expected != SolveResult::kUnknown) {
+      ASSERT_EQ(got, expected) << label << ": definitive verdicts contradict";
+    }
+    if (got == SolveResult::kSat) {
+      EXPECT_TRUE(cnf.satisfied_by(solver.model())) << label;
+    }
+    EXPECT_TRUE(solver.clause_refs_clean()) << label;
+
+    Solver rerun(cnf, options);
+    ASSERT_EQ(rerun.solve(), got) << label << ": rerun verdict diverged";
+    expect_run_to_run_identical(solver.stats(), rerun.stats(), label);
   }
 }
 
 TEST(ArenaEquivalence, PresimplifyIdentity) {
-  // With presimplify the arena solver adopts the preprocessor's output arena
-  // wholesale; its search must match the reference solver run on the
-  // materialized simplified formula, and the reconstructed models must agree.
+  // With presimplify the solver adopts the preprocessor's output arena
+  // wholesale (binaries becoming implicit watchers); its verdict must match
+  // the reference solver run on the materialized simplified formula, any
+  // model must satisfy the ORIGINAL formula after Remapper reconstruction,
+  // and a rerun must replay the search bit-for-bit.
   msropm::util::Rng rng(4242);
   for (int t = 0; t < 60; ++t) {
     const std::size_t vars = 12 + rng.uniform_index(24);
@@ -572,11 +649,18 @@ TEST(ArenaEquivalence, PresimplifyIdentity) {
     reference::Solver ref(pre.cnf(), options);
     const SolveResult expected = ref.solve();
     ASSERT_EQ(got, expected) << label;
-    expect_stats_equal(integrated.stats(), ref.stats(), label);
+    EXPECT_TRUE(integrated.clause_refs_clean()) << label;
     if (expected == SolveResult::kSat) {
-      EXPECT_EQ(integrated.model(), pre.remapper.reconstruct(ref.model()))
-          << label << ": reconstructed models diverged";
-      EXPECT_TRUE(cnf.satisfied_by(integrated.model())) << label;
+      EXPECT_TRUE(cnf.satisfied_by(integrated.model()))
+          << label << ": reconstructed model does not satisfy the original";
+    }
+
+    Solver rerun(cnf, options);
+    ASSERT_EQ(rerun.solve(), got) << label << ": rerun verdict diverged";
+    expect_run_to_run_identical(integrated.stats(), rerun.stats(), label);
+    if (got == SolveResult::kSat) {
+      EXPECT_EQ(integrated.model(), rerun.model())
+          << label << ": rerun model diverged";
     }
   }
 }

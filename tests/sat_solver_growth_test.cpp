@@ -102,6 +102,51 @@ TEST(ClauseDbGrowth, PeakGrowsSublinearlyInConflicts) {
             (3 * second.stats().arena_alloc_words) / 5);
 }
 
+TEST(ClauseDbGrowth, BinaryWatchersSurviveGc) {
+  // Implicit binary clauses live only in the watch lists (no arena record),
+  // so a compacting GC must pass them through untouched: after GC-heavy
+  // solves of binary-rich formulas, clause_refs_clean() must still hold
+  // (it validates that binary watchers carry in-range literals and that
+  // every long watcher's blocker is a literal of its clause), and solving
+  // again must reproduce the exact same search — a corrupted or dropped
+  // binary watcher would change propagation.
+  msropm::util::Rng rng(17);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t vars = 60 + 10 * static_cast<std::size_t>(trial);
+    Cnf cnf(vars);
+    // ~60% binary / 40% ternary mix keeps real conflict work while making
+    // binary watchers the bulk of every watch list.
+    for (std::size_t c = 0; c < 6 * vars; ++c) {
+      const std::size_t len = c % 5 < 3 ? 2 : 3;
+      Clause clause;
+      while (clause.size() < len) {
+        const auto v = static_cast<Var>(rng.uniform_index(vars));
+        clause.push_back(Lit(v, rng.bernoulli(0.5)));
+      }
+      cnf.add_clause(std::move(clause));
+    }
+    SolverOptions options = reduction_heavy_options();
+    options.learnt_cap = 24;
+    options.conflict_limit = 3000;
+
+    Solver first(cnf, options);
+    const SolveResult verdict = first.solve();
+    EXPECT_TRUE(first.clause_refs_clean()) << "trial=" << trial;
+
+    Solver second(cnf, options);
+    EXPECT_EQ(second.solve(), verdict) << "trial=" << trial;
+    EXPECT_EQ(second.stats().decisions, first.stats().decisions)
+        << "trial=" << trial;
+    EXPECT_EQ(second.stats().binary_propagations,
+              first.stats().binary_propagations)
+        << "trial=" << trial;
+    if (verdict == SolveResult::kSat) {
+      EXPECT_TRUE(cnf.satisfied_by(first.model())) << "trial=" << trial;
+      EXPECT_EQ(first.model(), second.model()) << "trial=" << trial;
+    }
+  }
+}
+
 TEST(ClauseDbGrowth, NoStaleReferencesAfterReductions) {
   // The satellite invariant, checked from the outside on several seeds: after
   // a solve full of reduce_learnts() rounds and GCs, no watch list, reason
