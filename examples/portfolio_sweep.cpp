@@ -5,7 +5,7 @@
 // Usage:
 //   portfolio_sweep [--kings S1,S2,...] [--colors K] [--kings-unsat S1,S2,...]
 //                   [--dimacs graph.col]... [--jobs N] [--timeout-ms T]
-//                   [--strategies dsatur,cdcl,cdcl-pre,tabucol,sa]
+//                   [--strategies dsatur,cdcl,cdcl-pre,cdcl-inc,tabucol,sa]
 //                   [--seed S] [--schedule strategy|instance] [--csv]
 //
 //   --kings        side lengths of King's-graph instances colored with
@@ -82,7 +82,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--kings S1,S2,...] [--colors K] "
                "[--kings-unsat S1,S2,...] [--dimacs graph.col]... [--jobs N] "
-               "[--timeout-ms T] [--strategies dsatur,cdcl,cdcl-pre,tabucol,sa] "
+               "[--timeout-ms T] [--strategies dsatur,cdcl,cdcl-pre,cdcl-inc,tabucol,sa] "
                "[--seed S] [--schedule strategy|instance] [--csv]\n",
                argv0);
   return 2;

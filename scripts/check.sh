@@ -17,12 +17,16 @@
 #                                           # ThreadSanitizer
 #   CHECK_BENCH=1 scripts/check.sh          # normal run, then additionally
 #                                           # run bench_sat_arena (hard gate:
-#                                           # allocation scaling) and
+#                                           # allocation scaling),
 #                                           # bench_portfolio (hard gates:
 #                                           # verdict identity at every
 #                                           # worker count, portfolio never
 #                                           # slower than the best single
-#                                           # strategy); both drop
+#                                           # strategy) and bench_chromatic
+#                                           # (hard gates: incremental ==
+#                                           # from-scratch chromatic numbers,
+#                                           # incremental sweep never slower
+#                                           # than from-scratch); all drop
 #                                           # bench_results/*.json
 set -euo pipefail
 
@@ -50,12 +54,12 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 # exactly where a use-after-free would hide, so these run under ASan/UBSan on
 # demand (the sanitizer presets also enable the solver's internal
 # stale-reference checks via MSROPM_SAT_CHECK_INVARIANTS).
-ARENA_TESTS='sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test|sat_preprocess_test|sat_preprocess_equivalence_test'
+ARENA_TESTS='sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test|sat_preprocess_test|sat_preprocess_equivalence_test|sat_incremental_test'
 if [ "${CHECK_ASAN:-0}" = "1" ] && [ "${SANITIZE}" = "OFF" ]; then
   cmake -B build-asan -S . -DMSROPM_SANITIZE=ON
   cmake --build build-asan -j "${JOBS}" --target \
     sat_arena_test sat_arena_equivalence_test sat_solver_growth_test \
-    sat_preprocess_test sat_preprocess_equivalence_test
+    sat_preprocess_test sat_preprocess_equivalence_test sat_incremental_test
   ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
     -R "^(${ARENA_TESTS})\$"
 fi
@@ -68,19 +72,24 @@ if [ "${CHECK_TSAN:-0}" = "1" ] && [ "${SANITIZE}" != "thread" ]; then
   cmake -B build-tsan -S . -DMSROPM_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}" --target \
     portfolio_test portfolio_cancel_test util_stop_token_test \
-    sat_arena_test sat_arena_equivalence_test sat_solver_growth_test
+    sat_arena_test sat_arena_equivalence_test sat_solver_growth_test \
+    sat_incremental_test
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-    -R "^(portfolio_test|portfolio_cancel_test|util_stop_token_test|sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test)\$"
+    -R "^(portfolio_test|portfolio_cancel_test|util_stop_token_test|sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test|sat_incremental_test)\$"
 fi
 
 # Perf-regression gates: bench_sat_arena exits nonzero when construction
 # allocations scale with the clause count (or search allocations with the
 # learnt count); bench_portfolio exits nonzero on any verdict mismatch
 # across worker counts or when the portfolio is slower than the best single
-# complete strategy. Both also emit bench_results/*.json so the numbers are
-# tracked, not just the pass/fail bit.
+# complete strategy; bench_chromatic exits nonzero when the incremental
+# chromatic sweep disagrees with the from-scratch baseline or is slower
+# than it beyond a 10% noise margin. All emit bench_results/*.json so the
+# numbers are tracked, not just the pass/fail bit.
 if [ "${CHECK_BENCH:-0}" = "1" ] && [ "${SANITIZE}" = "OFF" ]; then
-  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_sat_arena bench_portfolio
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target \
+    bench_sat_arena bench_portfolio bench_chromatic
   "./${BUILD_DIR}/bench_sat_arena"
   "./${BUILD_DIR}/bench_portfolio"
+  "./${BUILD_DIR}/bench_chromatic"
 fi

@@ -38,12 +38,18 @@ enum class StrategyKind : std::uint8_t {
   kDsatur,          ///< bounded DSATUR greedy (deterministic, microseconds)
   kCdcl,            ///< CDCL on the direct encoding (complete)
   kCdclPresimplify, ///< CDCL behind the clause-database preprocessor
+  kCdclIncremental, ///< incremental chromatic sweep (sat::chromatic_search):
+                    ///< one multi-shot solver, per-color activation-literal
+                    ///< assumptions, clique-seeded. Complete, and its SAT
+                    ///< witness uses the MINIMAL palette (often < K colors).
+                    ///< Not in default_strategies(); opt in explicitly.
   kTabucol,         ///< tabu search (seeded, budgeted)
   kSaPotts,         ///< simulated annealing (seeded, budgeted)
 };
 
 [[nodiscard]] const char* to_string(StrategyKind kind) noexcept;
-/// Parse "dsatur", "cdcl", "cdcl-pre", "tabucol", "sa"; nullopt otherwise.
+/// Parse "dsatur", "cdcl", "cdcl-pre", "cdcl-inc", "tabucol", "sa"; nullopt
+/// otherwise.
 [[nodiscard]] std::optional<StrategyKind> strategy_from_string(
     std::string_view name) noexcept;
 
@@ -52,7 +58,9 @@ enum class StrategyKind : std::uint8_t {
 /// master seed, so duplicated slots are automatically seed-diversified.
 struct StrategyConfig {
   StrategyKind kind = StrategyKind::kDsatur;
-  /// CDCL: give up after this many conflicts (0 = run to completion).
+  /// CDCL: give up after this many conflicts (0 = run to completion). For
+  /// cdcl-inc this bounds each K-round of the sweep, so the whole attempt
+  /// may spend up to (sweep rounds) x conflict_limit conflicts.
   std::uint64_t conflict_limit = 0;
   /// Tabucol: iteration budget.
   std::size_t tabu_iterations = 50000;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 namespace msropm::sat {
 
@@ -9,11 +11,22 @@ graph::Coloring ColoringEncoding::decode(
     const std::vector<std::uint8_t>& model) const {
   graph::Coloring colors(num_nodes, 0);
   for (graph::NodeId v = 0; v < num_nodes; ++v) {
+    bool found = false;
     for (unsigned c = 0; c < num_colors; ++c) {
       if (model.at(var_of(v, c))) {
         colors[v] = static_cast<graph::Color>(c);
+        found = true;
         break;
       }
+    }
+    // Every model of the encoding satisfies the node's at-least-one clause,
+    // so a node with no true color variable means the model is not a model
+    // of this encoding (solver or plumbing bug). Assigning color 0 here, as
+    // this used to do, would mask that as a plausible-looking coloring.
+    if (!found) {
+      throw std::logic_error(
+          "ColoringEncoding::decode: no color variable true for node " +
+          std::to_string(v) + " — model does not satisfy the encoding");
     }
   }
   return colors;
@@ -111,13 +124,7 @@ ExactColoringOutcome solve_exact_coloring_detailed(
   return outcome;
 }
 
-std::optional<unsigned> chromatic_number(const graph::Graph& g, unsigned max_k) {
-  if (g.num_nodes() == 0) return 0u;
-  if (g.num_edges() == 0) return 1u;
-  for (unsigned k = 2; k <= max_k; ++k) {
-    if (solve_exact_coloring(g, k)) return k;
-  }
-  return std::nullopt;
-}
+// chromatic_number lives in incremental_coloring.cpp: it is implemented on
+// top of the incremental assumption-based sweep (see chromatic_search).
 
 }  // namespace msropm::sat

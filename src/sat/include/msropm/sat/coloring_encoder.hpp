@@ -30,7 +30,11 @@ struct ColoringEncoding {
   }
 
   /// Decode a SAT model into a coloring (first set color wins; at-most-one
-  /// clauses guarantee uniqueness in real models).
+  /// clauses guarantee uniqueness in real models). Throws std::logic_error
+  /// when some node has NO true color variable — such a model violates the
+  /// at-least-one clauses, i.e. it is not a model of this encoding, and
+  /// silently assigning color 0 would mask the solver bug as a
+  /// plausible-looking (but invalid) coloring.
   [[nodiscard]] graph::Coloring decode(const std::vector<std::uint8_t>& model) const;
 };
 
@@ -71,7 +75,12 @@ struct ExactColoringOutcome {
     ColoringEncodeOptions encode_options = {},
     SolverOptions solver_options = exact_coloring_solver_options());
 
-/// Chromatic number by iterating K = 1..max_k (small graphs / tests).
+/// Chromatic number, nullopt when it exceeds max_k (every early return
+/// respects the bound: an edgeless graph with max_k == 0 is nullopt). The
+/// search is seeded at the greedy-clique lower bound, capped at a greedy
+/// upper bound, and runs incrementally — one solver, one encoding, colors
+/// switched off per K via assumptions (see incremental_coloring.hpp, where
+/// chromatic_search exposes the knobs and statistics).
 [[nodiscard]] std::optional<unsigned> chromatic_number(const graph::Graph& g,
                                                        unsigned max_k = 8);
 

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "msropm/sat/arena.hpp"
@@ -41,6 +42,15 @@ struct PreprocessOptions {
   bool self_subsumption = true;
   bool blocked_clauses = true;
   bool variable_elimination = true;
+  /// Frozen variables (original variable space): assumption-safe. A frozen
+  /// variable is never pure-literal-fixed, never BVE-eliminated, and never
+  /// the blocking literal of an eliminated blocked clause — the three
+  /// transformations whose model reconstruction may pick or flip a
+  /// variable's value behind the solver's back. Unit propagation may still
+  /// fix a frozen variable (the value is then IMPLIED by the formula, and
+  /// Solver::solve(assumptions) checks assumptions against it). Freeze every
+  /// variable you will later pass to solve(assumptions).
+  std::vector<Var> frozen;
   /// BVE may add at most this many clauses beyond what it removes.
   std::size_t bve_clause_growth = 0;
   /// Skip BVE for variables with more total occurrences than this.
@@ -103,6 +113,20 @@ class Remapper {
     kEliminated,  ///< var(lit) was BVE-eliminated; clauses hold the lit side
   };
 
+  /// What preprocessing did to an original variable — the fact the solver
+  /// needs to decide whether (and how) an assumption on it is sound.
+  enum class VarDisposition : std::uint8_t {
+    kMapped,         ///< survives into the simplified formula (see map())
+    kFixedImplied,   ///< fixed by unit propagation: value IMPLIED by the
+                     ///< formula, so assumptions can be checked against it
+    kFixedChoice,    ///< fixed by pure-literal elimination: a satisfiability-
+                     ///< preserving CHOICE, not an implication (never happens
+                     ///< to frozen variables)
+    kEliminated,     ///< BVE-removed: reconstruction owns its value (never
+                     ///< happens to frozen variables)
+    kUnconstrained,  ///< no live occurrence: any value extends any model
+  };
+
   Remapper() = default;
   explicit Remapper(std::size_t original_vars) : original_vars_(original_vars) {}
 
@@ -117,10 +141,33 @@ class Remapper {
   /// fixed, eliminated, or unconstrained.
   [[nodiscard]] std::optional<Var> map(Var original) const;
 
+  /// Original variable behind a simplified index (inverse of map()); used to
+  /// translate failed-assumption cores back to the caller's space.
+  [[nodiscard]] Var original_of(Var simplified) const {
+    return inverse_[simplified];
+  }
+
+  [[nodiscard]] VarDisposition disposition(Var original) const {
+    return original < dispositions_.size() ? dispositions_[original]
+                                           : VarDisposition::kUnconstrained;
+  }
+  /// Fixed value of a kFixedImplied / kFixedChoice variable.
+  [[nodiscard]] bool fixed_value(Var original) const {
+    return fixed_value_[original] != 0;
+  }
+  /// True when the variable was in PreprocessOptions::frozen.
+  [[nodiscard]] bool frozen(Var original) const {
+    return original < frozen_.size() && frozen_[original] != 0;
+  }
+
   /// Extend a model of the simplified formula to a model of the original
-  /// formula. Unconstrained variables default to false.
+  /// formula. Unconstrained variables default to false. `overrides` pins
+  /// original-space variables (assumptions on unconstrained frozen vars)
+  /// BEFORE the elimination stack is replayed, so blocked/eliminated-clause
+  /// repairs see the final values.
   [[nodiscard]] std::vector<std::uint8_t> reconstruct(
-      const std::vector<std::uint8_t>& simplified_model) const;
+      const std::vector<std::uint8_t>& simplified_model,
+      const std::vector<std::pair<Var, bool>>& overrides = {}) const;
 
   // Builder API (used by Preprocessor): push an entry, then attach the
   // clauses reconstruction needs via push_clause (they belong to the most
@@ -138,6 +185,17 @@ class Remapper {
   void set_map(std::vector<std::uint32_t> map, std::size_t simplified_vars) {
     map_ = std::move(map);
     simplified_vars_ = simplified_vars;
+    inverse_.assign(simplified_vars_, 0);
+    for (Var v = 0; v < map_.size(); ++v) {
+      if (map_[v] != kUnmapped) inverse_[map_[v]] = v;
+    }
+  }
+  void set_var_info(std::vector<VarDisposition> dispositions,
+                    std::vector<std::uint8_t> fixed_values,
+                    std::vector<std::uint8_t> frozen) {
+    dispositions_ = std::move(dispositions);
+    fixed_value_ = std::move(fixed_values);
+    frozen_ = std::move(frozen);
   }
   [[nodiscard]] std::size_t stack_size() const noexcept { return stack_.size(); }
 
@@ -156,6 +214,10 @@ class Remapper {
   std::size_t original_vars_ = 0;
   std::size_t simplified_vars_ = 0;
   std::vector<std::uint32_t> map_;  // original var -> simplified var / kUnmapped
+  std::vector<std::uint32_t> inverse_;       // simplified var -> original var
+  std::vector<VarDisposition> dispositions_; // per original var
+  std::vector<std::uint8_t> fixed_value_;    // value for kFixed* vars
+  std::vector<std::uint8_t> frozen_;         // PreprocessOptions::frozen bitmap
   std::vector<Entry> stack_;        // chronological; replayed in reverse
   std::vector<Span> spans_;         // per stored clause: slice of pool_
   std::vector<Lit> pool_;           // flat literal storage for entry clauses
@@ -236,6 +298,8 @@ class Preprocessor {
   std::vector<std::uint32_t> occ_count_;         // exact live count per literal
   std::vector<std::uint8_t> removed_;            // var left the formula
   std::vector<Fixed> fixed_;                     // value for unit/pure vars
+  std::vector<std::uint8_t> frozen_;             // assumption-safe vars (bitmap)
+  std::vector<std::uint8_t> choice_fixed_;       // fixed by pure (not implied)
   std::vector<Lit> unit_queue_;
   Clause scratch_;                               // reused normalization buffer
   std::size_t live_clauses_ = 0;

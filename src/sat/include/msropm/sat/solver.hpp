@@ -2,7 +2,9 @@
 // CDCL SAT solver: two-watched-literal propagation with blocking literals
 // and inlined binary clauses, 1-UIP conflict-driven clause learning, VSIDS
 // variable activity on an indexed max-heap with phase saving, Luby restarts,
-// and activity-based learnt-clause reduction.
+// activity-based learnt-clause reduction, and MiniSat-style incremental
+// solving (multi-shot solve(assumptions) with failed-assumption cores;
+// learnt clauses, activities and phases survive across calls).
 //
 // It is the "generic SAT solver" baseline of the paper, used to compute the
 // exact colorings against which MSROPM accuracy is normalized. The King's
@@ -57,7 +59,7 @@ struct SolverStats {
 };
 
 struct SolverOptions {
-  /// Give up after this many conflicts (0 = unlimited).
+  /// Give up after this many conflicts PER solve() call (0 = unlimited).
   std::uint64_t conflict_limit = 0;
   /// Base interval (conflicts) of the Luby restart sequence.
   std::uint64_t restart_base = 64;
@@ -69,7 +71,9 @@ struct SolverOptions {
   bool default_polarity = false;
   /// Run the clause-database preprocessor (preprocess.hpp) before search.
   /// model() stays in the original variable space: the solver reconstructs
-  /// it through the Remapper. Incompatible with assumptions.
+  /// it through the Remapper. Compatible with assumptions as long as every
+  /// assumed variable is listed in preprocess.frozen (the solver maps
+  /// assumptions through the Remapper; see solve(assumptions)).
   bool presimplify = false;
   /// Technique selection and caps for presimplify.
   PreprocessOptions preprocess = {};
@@ -81,37 +85,68 @@ struct SolverOptions {
   util::StopToken stop = {};
 };
 
-/// Single-shot CDCL solver: construct, call solve() exactly once, read
-/// model()/stats(). A second solve() call throws std::logic_error — the
-/// internal state (trail, learnt database, ok_ flag) is not reset between
-/// calls, so re-solving would silently return stale results, and after an
-/// assumption conflict the solver would wrongly report the formula itself
-/// UNSAT. Construct a fresh Solver per query.
+/// Multi-shot, assumption-complete CDCL solver (MiniSat incremental style).
+///
+/// solve() / solve(assumptions) may be called any number of times on one
+/// Solver. Between calls the solver backtracks to the root level but KEEPS
+/// everything worth keeping: learnt clauses (arena records and implicit
+/// binary watchers), variable activities, saved phases, and the restart/
+/// reduction cadence — which is the whole point of incremental solving.
+///
+/// Assumptions are asserted as decision levels 1..N (never as permanent
+/// units), so an UNSAT-under-assumptions verdict does not poison the solver:
+/// the next call simply re-solves under different assumptions. After such a
+/// verdict failed_assumptions() holds a subset of the assumptions whose
+/// conjunction with the formula is unsatisfiable (MiniSat's analyzeFinal);
+/// formula_unsat() distinguishes "the formula itself is refuted" from
+/// "these assumptions are".
+///
+/// With presimplify on, assumptions compose through the Remapper: every
+/// assumed variable must be listed in options.preprocess.frozen (frozen vars
+/// are exempt from the non-implied transformations — pure literals, BCE
+/// blocking literals, BVE). Assumptions on surviving vars are translated to
+/// the simplified space; assumptions on unit-fixed vars are checked against
+/// the implied value; assumptions on vars the simplified formula no longer
+/// constrains are honored by pinning the reconstructed model. Assuming a
+/// non-frozen variable throws std::invalid_argument.
 class Solver {
  public:
   explicit Solver(const Cnf& cnf, SolverOptions options = {});
 
   // Non-copyable, non-movable: order_heap_ holds a pointer to activity_, so
   // a compiler-generated copy/move would leave the new heap reading the old
-  // solver's activities (dangling once it is destroyed). The solver is
-  // single-shot anyway — construct in place, one per query.
+  // solver's activities (dangling once it is destroyed). Construct in place.
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
   Solver(Solver&&) = delete;
   Solver& operator=(Solver&&) = delete;
 
-  /// Run the search. kSat fills model(); kUnknown only when conflict_limit
-  /// was hit. Throws std::logic_error when called a second time.
+  /// Run the search. kSat fills model(); kUnknown when conflict_limit was
+  /// hit for this call or options.stop fired. Callable repeatedly.
   [[nodiscard]] SolveResult solve();
 
-  /// Solve under assumptions (asserted as decision-level-0 units). Same
-  /// single-shot contract as solve(). Throws std::logic_error when
-  /// options.presimplify is set: assumed literals may have been fixed or
-  /// eliminated by preprocessing.
+  /// Solve under assumptions. kUnsat means the formula is unsatisfiable
+  /// together with the assumptions — consult failed_assumptions() /
+  /// formula_unsat() to tell which. Callable repeatedly; learnt clauses are
+  /// shared across calls. Throws std::invalid_argument for an assumption on
+  /// an out-of-range variable, or (with presimplify) on a variable that was
+  /// not frozen.
   [[nodiscard]] SolveResult solve(const std::vector<Lit>& assumptions);
 
+  /// After solve(assumptions) returned kUnsat: the subset of the assumptions
+  /// that conflict analysis found responsible, in the original variable
+  /// space. Empty when the formula itself is UNSAT (see formula_unsat()).
+  [[nodiscard]] const std::vector<Lit>& failed_assumptions() const noexcept {
+    return failed_assumptions_;
+  }
+
+  /// True once the formula has been refuted WITHOUT assumptions: every
+  /// subsequent solve() call returns kUnsat no matter the assumptions.
+  [[nodiscard]] bool formula_unsat() const noexcept { return !ok_; }
+
   /// Model indexed by var (0/1), always in the ORIGINAL variable space even
-  /// when presimplify rewrote the formula. Valid only after kSat.
+  /// when presimplify rewrote the formula. Valid after a solve() that
+  /// returned kSat, until the next solve() call.
   [[nodiscard]] const std::vector<std::uint8_t>& model() const noexcept {
     return model_;
   }
@@ -187,6 +222,18 @@ class Solver {
   void analyze(Reason conflict, std::vector<Lit>& learnt_out,
                std::uint32_t& backtrack_level);
   void backtrack(std::uint32_t level);
+  /// Translate caller assumptions into the internal (possibly simplified)
+  /// space: fills assumptions_/assumption_origins_/model_overrides_. Returns
+  /// false when an assumption contradicts a preprocessing-implied fixed
+  /// value — an immediate UNSAT with that assumption as the core.
+  [[nodiscard]] bool map_assumptions(const std::vector<Lit>& assumptions);
+  /// MiniSat analyzeFinal: starting from falsified assumption p (internal
+  /// space), walk the trail backwards through reasons and collect the
+  /// assumption decisions that imply ~p. Fills failed_assumptions_ with the
+  /// corresponding ORIGINAL-space assumption literals.
+  void analyze_final(Lit p);
+  /// Original-space assumption behind an internal assumption literal.
+  [[nodiscard]] Lit origin_of_assumption(Lit internal) const;
   /// Heapify the full variable set and switch pick_branch_lit to the heap.
   /// Called at the first conflict: before any conflict the activities are
   /// the static ingest occurrence counts (VSIDS only bumps in analyze), so
@@ -239,9 +286,15 @@ class Solver {
   std::vector<Lit> minimize_stack_;
   std::vector<Var> minimize_clear_;
   std::vector<ClauseRef> reduce_candidates_;
+  // Per-call assumption state (internal space + aligned original literals).
+  std::vector<Lit> assumptions_;
+  std::vector<Lit> assumption_origins_;
+  std::vector<std::pair<Var, bool>> model_overrides_;  // unconstrained frozen
+  std::vector<Lit> failed_assumptions_;  // original space, set on kUnsat
+  std::size_t learnt_cap_ = 0;  // reduction threshold, persists across calls
   bool ok_ = true;          // false once a top-level conflict is derived
-  bool solve_started_ = false;  // enforces the single-shot contract
-  bool cancelled_ = false;      // options_.stop fired; clause DB may be partial
+  bool db_incomplete_ = false;  // cancelled during ingest: SAT never provable
+  bool cancelled_ = false;      // last call was interrupted by options_.stop
   SolverOptions options_;
   SolverStats stats_;
   std::vector<std::uint8_t> model_;

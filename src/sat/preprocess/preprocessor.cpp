@@ -37,6 +37,11 @@ Preprocessor::Preprocessor(const Cnf& cnf, PreprocessOptions options)
   occ_count_.assign(2 * num_vars_, 0);
   removed_.assign(num_vars_, 0);
   fixed_.assign(num_vars_, Fixed::kUndef);
+  frozen_.assign(num_vars_, 0);
+  for (const Var v : options_.frozen) {
+    if (v < num_vars_) frozen_[v] = 1;
+  }
+  choice_fixed_.assign(num_vars_, 0);
   remapper_ = Remapper(num_vars_);
   stats_.original_vars = num_vars_;
   stats_.original_clauses = cnf.num_clauses();
@@ -203,6 +208,10 @@ bool Preprocessor::eliminate_pure_literals() {
     again = false;
     for (Var v = 0; v < num_vars_; ++v) {
       if (removed_[v]) continue;
+      // Pure-literal fixing is a CHOICE (satisfiability-preserving, not
+      // implied), so it must never touch an assumption-safe variable: with
+      // ~x assumed, "x is pure positive" does not make x settable to true.
+      if (frozen_[v]) continue;
       const Lit p = pos(v);
       const Lit n = neg(v);
       Lit pure;
@@ -215,6 +224,7 @@ bool Preprocessor::eliminate_pure_literals() {
       }
       removed_[v] = 1;
       fixed_[v] = pure.negated() ? Fixed::kFalse : Fixed::kTrue;
+      choice_fixed_[v] = 1;
       remapper_.push(Remapper::Kind::kPure, pure);
       ++stats_.pure_fixed;
       for (std::uint32_t ci : occ_[pure.index()]) {
@@ -315,6 +325,10 @@ bool Preprocessor::blocked_clause_pass() {
   std::vector<std::uint8_t> marked(2 * num_vars_, 0);
   for (Var v = 0; v < num_vars_; ++v) {
     if (removed_[v]) continue;
+    // Reconstruction of a blocked clause may flip its blocking literal, so a
+    // frozen variable must never be one: the flip would override the
+    // solver's (assumed) value after the fact.
+    if (frozen_[v]) continue;
     for (const Lit l : {pos(v), neg(v)}) {
       auto& mirror = occ_[(~l).index()];
       filter_list(mirror, [&](std::uint32_t k) { return !dead(k); });
@@ -394,6 +408,9 @@ bool Preprocessor::try_eliminate_var(Var v) {
   // Single-polarity variables are the pure-literal pass's job; resolving
   // them away here would just duplicate that machinery.
   if (np == 0 || nn == 0) return false;
+  // Frozen (assumption-safe) variables stay in the formula: BVE hands their
+  // value to model reconstruction, which cannot honor assumptions.
+  if (frozen_[v]) return false;
   if (np + nn > options_.bve_max_occurrences) return false;
 
   auto& pos_list = occ_[p.index()];
@@ -503,6 +520,25 @@ void Preprocessor::compact(PreprocessResult& result) {
   }
   stats_.simplified_vars = next;
   stats_.simplified_clauses = result.clauses.size();
+  // Per-variable disposition: what the solver needs to judge assumptions.
+  std::vector<Remapper::VarDisposition> dispositions(num_vars_);
+  std::vector<std::uint8_t> fixed_values(num_vars_, 0);
+  for (Var v = 0; v < num_vars_; ++v) {
+    if (map[v] != Remapper::kUnmapped) {
+      dispositions[v] = Remapper::VarDisposition::kMapped;
+    } else if (fixed_[v] != Fixed::kUndef) {
+      dispositions[v] = choice_fixed_[v]
+                            ? Remapper::VarDisposition::kFixedChoice
+                            : Remapper::VarDisposition::kFixedImplied;
+      fixed_values[v] = fixed_[v] == Fixed::kTrue ? 1 : 0;
+    } else if (removed_[v]) {
+      dispositions[v] = Remapper::VarDisposition::kEliminated;
+    } else {
+      dispositions[v] = Remapper::VarDisposition::kUnconstrained;
+    }
+  }
+  remapper_.set_var_info(std::move(dispositions), std::move(fixed_values),
+                         frozen_);
   remapper_.set_map(std::move(map), next);
   result.arena = std::move(out);
   result.num_vars = next;

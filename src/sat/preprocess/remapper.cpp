@@ -37,7 +37,8 @@ std::optional<Var> Remapper::map(Var original) const {
 }
 
 std::vector<std::uint8_t> Remapper::reconstruct(
-    const std::vector<std::uint8_t>& simplified_model) const {
+    const std::vector<std::uint8_t>& simplified_model,
+    const std::vector<std::pair<Var, bool>>& overrides) const {
   if (simplified_model.size() != simplified_vars_) {
     throw std::invalid_argument(
         "Remapper::reconstruct: model size does not match simplified formula");
@@ -45,6 +46,12 @@ std::vector<std::uint8_t> Remapper::reconstruct(
   std::vector<std::uint8_t> full(original_vars_, 0);
   for (Var v = 0; v < map_.size(); ++v) {
     if (map_[v] != kUnmapped) full[v] = simplified_model[map_[v]];
+  }
+  // Overrides pin assumption values of variables the simplified formula no
+  // longer mentions (unconstrained frozen vars). They must land before the
+  // stack replay so blocked/eliminated-clause repairs read the final values.
+  for (const auto& [v, value] : overrides) {
+    if (v < full.size()) full[v] = value ? 1 : 0;
   }
   // Replay eliminations newest-first. Each entry's clauses only mention
   // variables that were still in the formula when the entry was pushed, and

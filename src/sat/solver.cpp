@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 namespace msropm::sat {
 
@@ -25,6 +26,7 @@ constexpr bool kCheckInvariants = false;
 }  // namespace
 
 Solver::Solver(const Cnf& cnf, SolverOptions options) : options_(options) {
+  learnt_cap_ = options_.learnt_cap;
   if (options_.presimplify) {
     if (!options_.preprocess.stop.stop_possible()) {
       options_.preprocess.stop = options_.stop;
@@ -43,6 +45,7 @@ Solver::Solver(const Cnf& cnf, SolverOptions options) : options_(options) {
       // anyway, so building the watch lists would be wasted work.
       setup_arrays(0);
       cancelled_ = true;
+      db_incomplete_ = true;
       return;
     }
     // Preprocessor output already lives in an arena; adopt it wholesale.
@@ -50,6 +53,9 @@ Solver::Solver(const Cnf& cnf, SolverOptions options) : options_(options) {
   } else {
     init_from(cnf);
   }
+  // A clause DB truncated by cancellation can never prove SAT; remember the
+  // condition across solve() calls (cancelled_ itself is per-call state).
+  db_incomplete_ = cancelled_;
 }
 
 void Solver::setup_arrays(std::size_t num_vars) {
@@ -640,47 +646,156 @@ std::uint64_t Solver::luby(std::uint64_t i) noexcept {
 
 SolveResult Solver::solve() { return solve({}); }
 
+namespace {
+
+[[noreturn]] void throw_not_frozen(Var v) {
+  throw std::invalid_argument(
+      "Solver::solve: assumption on variable " + std::to_string(v) +
+      " which presimplify was allowed to transform; list every assumed "
+      "variable in SolverOptions::preprocess.frozen");
+}
+
+}  // namespace
+
+Lit Solver::origin_of_assumption(Lit internal) const {
+  for (std::size_t i = 0; i < assumptions_.size(); ++i) {
+    if (assumptions_[i] == internal) return assumption_origins_[i];
+  }
+  // Fallback (unreachable through the solve loop, which only hands this
+  // function assumption literals): translate through the inverse var map.
+  if (remapper_) {
+    return Lit(remapper_->original_of(internal.var()), internal.negated());
+  }
+  return internal;
+}
+
+bool Solver::map_assumptions(const std::vector<Lit>& assumptions) {
+  assumptions_.clear();
+  assumption_origins_.clear();
+  model_overrides_.clear();
+  const std::size_t original_vars =
+      remapper_ ? remapper_->original_num_vars() : num_vars_;
+  for (const Lit a : assumptions) {
+    const Var v = a.var();
+    if (v >= original_vars) {
+      throw std::invalid_argument(
+          "Solver::solve: assumption variable " + std::to_string(v) +
+          " is out of range");
+    }
+    if (!remapper_) {
+      assumptions_.push_back(a);
+      assumption_origins_.push_back(a);
+      continue;
+    }
+    const bool want = !a.negated();
+    switch (remapper_->disposition(v)) {
+      case Remapper::VarDisposition::kMapped:
+        if (!remapper_->frozen(v)) throw_not_frozen(v);
+        assumptions_.push_back(Lit(*remapper_->map(v), a.negated()));
+        assumption_origins_.push_back(a);
+        break;
+      case Remapper::VarDisposition::kFixedImplied:
+        // The value is implied by the formula (top-level unit propagation),
+        // so a matching assumption is vacuous and a contradicting one is an
+        // UNSAT whose core is the assumption alone.
+        if (!remapper_->frozen(v)) throw_not_frozen(v);
+        if (remapper_->fixed_value(v) != want) {
+          failed_assumptions_.assign(1, a);
+          return false;
+        }
+        break;
+      case Remapper::VarDisposition::kUnconstrained:
+        // The simplified formula no longer mentions the variable, so any
+        // value extends any model: honor the assumption by pinning the
+        // reconstructed model (and catch self-contradictory assumption
+        // pairs here, since no search conflict would ever surface them).
+        if (!remapper_->frozen(v)) throw_not_frozen(v);
+        for (const auto& [prev_var, prev_value] : model_overrides_) {
+          if (prev_var == v && prev_value != want) {
+            failed_assumptions_.assign(1, Lit(v, !prev_value));
+            failed_assumptions_.push_back(a);
+            return false;
+          }
+        }
+        model_overrides_.emplace_back(v, want);
+        break;
+      case Remapper::VarDisposition::kFixedChoice:
+      case Remapper::VarDisposition::kEliminated:
+        // Frozen vars are never pure-fixed or eliminated; reaching here
+        // means the caller assumed a variable it did not freeze.
+        throw_not_frozen(v);
+    }
+  }
+  return true;
+}
+
+void Solver::analyze_final(Lit p) {
+  // MiniSat analyzeFinal: p is a falsified assumption. Seed the core with p
+  // and walk the trail top-down; every marked decision is an assumption
+  // (only assumption levels exist when this runs), every marked propagated
+  // literal expands to the rest of its reason clause.
+  failed_assumptions_.clear();
+  failed_assumptions_.push_back(origin_of_assumption(p));
+  if (trail_lim_.empty()) return;  // falsified at root: the formula alone
+                                   // implies ~p, so {p} is the core
+  seen_[p.var()] = 1;
+  for (std::size_t i = trail_.size(); i > trail_lim_[0]; --i) {
+    const Var x = trail_[i - 1].var();
+    if (!seen_[x]) continue;
+    const Reason r = reason_[x];
+    if (r.is_none()) {
+      failed_assumptions_.push_back(origin_of_assumption(trail_[i - 1]));
+    } else if (r.is_binary()) {
+      const Var other = r.other().var();
+      if (level_[other] > 0) seen_[other] = 1;
+    } else {
+      const Lit* lits = arena_.lits(r.cref());
+      const std::size_t n = arena_.size(r.cref());
+      // lits[0] is the literal x was assigned to; the rest are antecedents.
+      for (std::size_t j = 1; j < n; ++j) {
+        if (level_[lits[j].var()] > 0) seen_[lits[j].var()] = 1;
+      }
+    }
+    seen_[x] = 0;
+  }
+  seen_[p.var()] = 0;
+}
+
 SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
-  if (solve_started_) {
-    throw std::logic_error(
-        "Solver::solve: solver is single-shot (search state is not reset "
-        "between calls); construct a fresh Solver per query");
-  }
-  if (remapper_ && !assumptions.empty()) {
-    // Precondition failure, not a consumed attempt: the caller may retry
-    // without assumptions, so leave the single-shot state untouched.
-    throw std::logic_error(
-        "Solver::solve: assumptions are unsupported with presimplify (the "
-        "assumed variables may have been fixed or eliminated)");
-  }
-  solve_started_ = true;
+  // Multi-shot entry: unwind whatever the previous call left behind. Doing
+  // the root reset lazily HERE (not on the previous call's SAT return path)
+  // keeps a final zero-conflict solve from paying an O(V log V) heap unwind
+  // it never benefits from.
+  backtrack(0);
+  model_.clear();
+  failed_assumptions_.clear();
   // An empty clause derived from any prefix of the formula refutes the whole
   // formula, so a top-level conflict outranks cancellation.
   if (!ok_) return SolveResult::kUnsat;
+  cancelled_ = db_incomplete_;
   if (cancelled_ || options_.stop.stop_requested()) {
     cancelled_ = true;
     return SolveResult::kUnknown;
   }
+  if (!map_assumptions(assumptions)) return SolveResult::kUnsat;
   if (!propagate().is_none()) {
     ok_ = false;
     return SolveResult::kUnsat;
   }
-  for (Lit a : assumptions) {
-    if (a.var() >= num_vars_) return SolveResult::kUnsat;
-    if (value(a) == LBool::kFalse) return SolveResult::kUnsat;
-    if (value(a) == LBool::kUndef) {
-      enqueue(a, Reason::none());
-      if (!propagate().is_none()) {
-        ok_ = false;
-        return SolveResult::kUnsat;
-      }
-    }
-  }
 
   std::vector<Lit> learnt;
-  std::size_t learnt_cap = options_.learnt_cap;
+  // The conflict budget is per call; stats_.conflicts is cumulative.
+  const std::uint64_t conflict_budget =
+      options_.conflict_limit == 0
+          ? 0
+          : stats_.conflicts + options_.conflict_limit;
+  // The Luby restart sequence restarts per CALL (MiniSat does the same):
+  // continuing the cumulative index would leave later incremental queries
+  // with the tail's huge intervals and no early restarts, which measurably
+  // wrecks hard SAT rounds after conflict-heavy UNSAT rounds.
+  std::uint64_t restarts_this_call = 0;
   std::uint64_t conflicts_until_restart =
-      options_.restart_base * luby(stats_.restarts);
+      options_.restart_base * luby(restarts_this_call);
 
   for (;;) {
     const Reason conflict = propagate();
@@ -713,8 +828,7 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
         enqueue(learnt[0], Reason::clause(cr));
       }
       decay_activities();
-      if (options_.conflict_limit != 0 &&
-          stats_.conflicts >= options_.conflict_limit) {
+      if (conflict_budget != 0 && stats_.conflicts >= conflict_budget) {
         note_arena_peak();
         return SolveResult::kUnknown;
       }
@@ -732,28 +846,49 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
       }
       if (conflicts_until_restart == 0) {
         ++stats_.restarts;
+        ++restarts_this_call;
         backtrack(0);
-        conflicts_until_restart = options_.restart_base * luby(stats_.restarts);
+        conflicts_until_restart =
+            options_.restart_base * luby(restarts_this_call);
       }
       // Binary learnts are kept forever, but they still count toward the
       // reduction trigger so the database-size cadence matches the learning
       // rate (they occupied learnt-list slots in the pre-watcher design too).
-      if (learnt_refs_.size() + learnt_binaries_ >= learnt_cap) {
+      if (learnt_refs_.size() + learnt_binaries_ >= learnt_cap_) {
         reduce_learnts();
-        learnt_cap += learnt_cap / 2;
+        learnt_cap_ += learnt_cap_ / 2;
       }
-      const auto next = pick_branch_lit();
+      // Assert pending assumptions as decisions, one level each. Level i+1
+      // always belongs to assumption i: already-satisfied assumptions get an
+      // empty (dummy) level, a falsified one yields the failed core, and
+      // restarts/backtracks simply re-enter this loop at the right index.
+      std::optional<Lit> next;
+      while (trail_lim_.size() < assumptions_.size()) {
+        const Lit a = assumptions_[trail_lim_.size()];
+        const LBool av = value(a);
+        if (av == LBool::kTrue) {
+          trail_lim_.push_back(trail_.size());  // dummy level
+        } else if (av == LBool::kFalse) {
+          analyze_final(a);
+          note_arena_peak();
+          return SolveResult::kUnsat;
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (!next) next = pick_branch_lit();
       if (!next) {
         // Full assignment: SAT.
         model_.assign(num_vars_, 0);
         for (Var v = 0; v < num_vars_; ++v) {
           model_[v] = assigns_[v] == LBool::kTrue ? 1 : 0;
         }
-        if (remapper_) model_ = remapper_->reconstruct(model_);
-        // No final backtrack(0): the solver is single-shot, the model is
-        // already extracted, and unwinding a full trail through the order
-        // heap would cost O(V log V) for nothing — on the paper's
-        // zero-conflict King's instances that was a third of solve().
+        if (remapper_) model_ = remapper_->reconstruct(model_, model_overrides_);
+        // No final backtrack(0): the model is already extracted and the next
+        // solve() call performs the root reset lazily — on the paper's
+        // zero-conflict King's instances the eager unwind was a third of
+        // solve().
         note_arena_peak();
         return SolveResult::kSat;
       }

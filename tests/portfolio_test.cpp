@@ -35,13 +35,36 @@ std::vector<portfolio::InstanceSpec> small_grid() {
 TEST(Portfolio, StrategyNamesRoundTrip) {
   for (const auto kind :
        {StrategyKind::kDsatur, StrategyKind::kCdcl,
-        StrategyKind::kCdclPresimplify, StrategyKind::kTabucol,
-        StrategyKind::kSaPotts}) {
+        StrategyKind::kCdclPresimplify, StrategyKind::kCdclIncremental,
+        StrategyKind::kTabucol, StrategyKind::kSaPotts}) {
     const auto parsed = portfolio::strategy_from_string(portfolio::to_string(kind));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, kind);
   }
   EXPECT_FALSE(portfolio::strategy_from_string("minisat").has_value());
+}
+
+TEST(Portfolio, IncrementalStrategyDecidesBothVerdicts) {
+  // cdcl-inc (opt-in, not in the default lineup) sweeps K incrementally:
+  // SAT instances must come back with a verified proper coloring — using
+  // the MINIMAL palette — and UNSAT instances with a proof (chromatic above
+  // the requested K: on a King's graph the 4-clique refutes K=3 from the
+  // clique bound alone).
+  PortfolioOptions options;
+  options.strategies.assign(1, portfolio::StrategyConfig{});
+  options.strategies[0].kind = StrategyKind::kCdclIncremental;
+
+  const auto g = graph::kings_graph_square(7);
+  const PortfolioResult sat_result = portfolio::solve_portfolio(g, 6, options);
+  EXPECT_EQ(sat_result.verdict, Verdict::kColored);
+  ASSERT_TRUE(sat_result.coloring.has_value());
+  // The sweep finds the chromatic number (4), not just any 6-coloring.
+  EXPECT_TRUE(graph::is_proper_coloring(g, *sat_result.coloring, 4));
+
+  const PortfolioResult unsat_result =
+      portfolio::solve_portfolio(g, 3, options);
+  EXPECT_EQ(unsat_result.verdict, Verdict::kUnsat);
+  EXPECT_FALSE(unsat_result.coloring.has_value());
 }
 
 TEST(Portfolio, DefaultLineupCoversEveryKindCheapestFirst) {

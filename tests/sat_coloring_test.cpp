@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "msropm/graph/builders.hpp"
+#include "msropm/sat/incremental_coloring.hpp"
 #include "msropm/util/rng.hpp"
 
 namespace {
@@ -125,6 +128,38 @@ TEST(ChromaticNumber, KnownValues) {
 
 TEST(ChromaticNumber, RespectsMaxK) {
   EXPECT_FALSE(chromatic_number(graph::complete_graph(6), 4).has_value());
+}
+
+TEST(ChromaticNumber, EarlyReturnsRespectMaxK) {
+  // The pre-fix implementation returned 1 for every edgeless graph, even
+  // with max_k == 0. Every early return must respect the bound.
+  EXPECT_EQ(chromatic_number(graph::Graph(0), 0), 0u);  // chi = 0 <= 0
+  EXPECT_FALSE(chromatic_number(graph::Graph(3), 0).has_value());
+  EXPECT_EQ(chromatic_number(graph::Graph(3), 1), 1u);
+  // Graphs with edges need >= 2 colors; max_k = 1 must be nullopt without
+  // any solver call (clique lower bound).
+  EXPECT_FALSE(chromatic_number(graph::path_graph(4), 1).has_value());
+}
+
+TEST(ChromaticNumber, SeededAtCliqueLowerBound) {
+  // The greedy clique of a King's graph is a K4, so the sweep must start at
+  // K = 4: exactly one SAT query, no wasted UNSAT solves below omega.
+  const auto outcome = chromatic_search(graph::kings_graph_square(6), 8);
+  ASSERT_TRUE(outcome.chromatic.has_value());
+  EXPECT_EQ(*outcome.chromatic, 4u);
+  EXPECT_EQ(outcome.lower_bound, 4u);
+  EXPECT_EQ(outcome.solve_calls, 1u);
+  EXPECT_TRUE(graph::is_proper_coloring(graph::kings_graph_square(6),
+                                        outcome.coloring, 4));
+}
+
+TEST(Decode, ThrowsWhenNoColorVariableTrue) {
+  // An all-false model violates the at-least-one clauses; decode must
+  // refuse instead of silently inventing color 0.
+  const auto g = graph::path_graph(2);
+  const auto enc = encode_coloring(g, 2, {.symmetry_breaking = false});
+  const std::vector<std::uint8_t> bogus(enc.cnf.num_vars(), 0);
+  EXPECT_THROW((void)enc.decode(bogus), std::logic_error);
 }
 
 TEST(ExactColoring, RandomPlanarInstancesAre4Colorable) {

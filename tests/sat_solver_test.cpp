@@ -203,26 +203,33 @@ TEST(Solver, ConflictLimitReturnsUnknown) {
   EXPECT_EQ(s.solve(), SolveResult::kUnknown);
 }
 
-TEST(Solver, SecondSolveThrows) {
-  // The solver is single-shot: search state (trail, learnts, ok_ flag) is
-  // not reset, so a second call must fail loudly rather than return stale
-  // results.
+TEST(Solver, SecondSolveRepeatsVerdict) {
+  // Multi-shot contract: the solver backtracks to root between calls, so a
+  // repeated query returns the same verdict and a valid model, not stale
+  // state.
   Cnf cnf(1);
   cnf.add_unit(pos(0));
   Solver s(cnf);
   EXPECT_EQ(s.solve(), SolveResult::kSat);
-  EXPECT_THROW((void)s.solve(), std::logic_error);
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.model()[0], 1);
 }
 
-TEST(Solver, SecondSolveAfterAssumptionConflictThrows) {
-  // After an assumption conflict the solver would wrongly report the formula
-  // itself UNSAT on reuse; the single-shot contract turns that silent wrong
-  // answer into an exception.
+TEST(Solver, SolveAfterAssumptionConflictRecovers) {
+  // The old implementation asserted assumptions as level-0 units, so an
+  // assumption conflict set the formula-UNSAT flag and poisoned the solver
+  // (guarded by a single-shot throw). Assumptions are decisions now: the
+  // UNSAT-under-assumptions verdict must not leak into later calls.
   Cnf cnf(1);
   cnf.add_unit(pos(0));
   Solver s(cnf);
   EXPECT_EQ(s.solve({neg(0)}), SolveResult::kUnsat);
-  EXPECT_THROW((void)s.solve(), std::logic_error);
+  EXPECT_FALSE(s.formula_unsat());
+  ASSERT_EQ(s.failed_assumptions().size(), 1u);
+  EXPECT_EQ(s.failed_assumptions()[0], neg(0));
+  EXPECT_EQ(s.solve(), SolveResult::kSat);
+  EXPECT_EQ(s.model()[0], 1);
+  EXPECT_EQ(s.solve({pos(0)}), SolveResult::kSat);
 }
 
 TEST(Solver, PreStoppedTokenReturnsUnknown) {
