@@ -16,6 +16,15 @@
 // ~1.75x, which shrank the headroom the old 1.5x target was calibrated
 // against).
 //
+// Observability overhead gate: when MSROPM_BASELINE_CDCL_MS is set (the
+// single:cdcl wall_ms measured on THIS machine by a pre-instrumentation
+// build), the bench computes the ratio against the current single:cdcl time,
+// records baseline + ratio in the JSON summary, and hard-fails if the ratio
+// exceeds 1.03 — the "obs compiled in but disabled costs < 3%" contract of
+// src/obs/README.md. A hardcoded baseline would gate on the machine the
+// number came from, so the paired A/B is explicit: same host, old binary
+// first, then MSROPM_BASELINE_CDCL_MS=<its number> ./bench_portfolio.
+//
 // Usage: bench_portfolio [repetitions=3]
 
 #include <algorithm>
@@ -160,9 +169,45 @@ int main(int argc, char** argv) {
   json.metric("portfolio_at_4_ms", portfolio_at_4);
   json.metric("speedup", speedup);
   json.metric("reps", static_cast<std::int64_t>(reps));
+
+  // Paired A/B overhead gate (see header comment): single:cdcl vs the
+  // caller-supplied pre-instrumentation baseline from the same machine.
+  bool overhead_ok = true;
+  if (const char* baseline_env = std::getenv("MSROPM_BASELINE_CDCL_MS")) {
+    const double baseline_ms = std::atof(baseline_env);
+    double cdcl_ms = 0.0;
+    for (const auto& [name, m] : singles) {
+      if (name == "cdcl") cdcl_ms = m.wall_ms;
+    }
+    if (baseline_ms > 0.0 && cdcl_ms > 0.0) {
+      constexpr double kMaxOverheadRatio = 1.03;
+      const double ratio = cdcl_ms / baseline_ms;
+      json.metric("baseline_cdcl_ms", baseline_ms);
+      json.metric("cdcl_overhead_ratio", ratio);
+      json.meta("overhead_gate", ratio <= kMaxOverheadRatio ? "pass" : "fail");
+      std::printf(
+          "overhead gate: single:cdcl %.2f ms vs baseline %.2f ms -> ratio "
+          "%.4f (budget %.2f)\n",
+          cdcl_ms, baseline_ms, ratio, kMaxOverheadRatio);
+      if (ratio > kMaxOverheadRatio) {
+        std::fprintf(stderr,
+                     "FAIL: disabled-obs overhead ratio %.4f exceeds %.2f — "
+                     "instrumentation is leaking cost into the hot path\n",
+                     ratio, kMaxOverheadRatio);
+        overhead_ok = false;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "warning: MSROPM_BASELINE_CDCL_MS='%s' unusable (need a "
+                   "positive ms value and a cdcl single row); gate skipped\n",
+                   baseline_env);
+    }
+  }
+
   const std::string json_path = json.write();
   if (!json_path.empty()) std::printf("json: %s\n", json_path.c_str());
   if (!verdicts_ok) return 1;
+  if (!overhead_ok) return 1;
   if (speedup < 1.0) {
     std::fprintf(stderr,
                  "FAIL: portfolio (%.2f ms) slower than best single complete "

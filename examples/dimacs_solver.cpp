@@ -6,6 +6,12 @@
 // Usage:
 //   dimacs_solver <graph.col> [colors=4] [iterations=40] [seed=1] [--sat]
 //                 [--chromatic] [--preprocess] [--no-preprocess]
+//                 [--trace FILE] [--metrics]
+//
+// --trace records msropm::obs spans (solver phases, preprocessing passes,
+// incremental rounds) and writes a Chrome trace-event JSON on exit; --metrics
+// enables the obs registry and prints the merged counter/timer report — the
+// sat.* counters there match the SolverStats tables below it one-for-one.
 //
 // --sat runs the exact CDCL baseline; by default it presimplifies the CNF
 // through msropm::sat::Preprocessor and prints the preprocessing and search
@@ -30,6 +36,7 @@
 
 #include "msropm/analysis/experiments.hpp"
 #include "msropm/core/machine.hpp"
+#include "msropm/obs/obs.hpp"
 #include "msropm/core/runner.hpp"
 #include "msropm/graph/coloring.hpp"
 #include "msropm/graph/io.hpp"
@@ -92,7 +99,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <graph.col> [colors=4] [iterations=40] [seed=1] "
-                 "[--sat] [--chromatic] [--preprocess] [--no-preprocess]\n",
+                 "[--sat] [--chromatic] [--preprocess] [--no-preprocess] "
+                 "[--trace FILE] [--metrics]\n",
                  argv[0]);
     return 2;
   }
@@ -103,6 +111,8 @@ int main(int argc, char** argv) {
   bool run_sat = false;
   bool run_chromatic = false;
   bool preprocess = true;
+  bool metrics = false;
+  std::string trace_path;
   int positional = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sat") == 0) {
@@ -113,6 +123,14 @@ int main(int argc, char** argv) {
       preprocess = true;
     } else if (std::strcmp(argv[i], "--no-preprocess") == 0) {
       preprocess = false;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace needs a file path\n");
+        return 2;
+      }
+      trace_path = argv[++i];
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "unrecognized flag: %s\n", argv[i]);
       return 2;
@@ -129,6 +147,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unrecognized argument: %s\n", argv[i]);
       return 2;
     }
+  }
+
+  if (metrics) obs::set_metrics_enabled(true);
+  if (!trace_path.empty()) {
+    obs::set_tracing_enabled(true);
+    obs::set_thread_lane("main");
   }
 
   graph::Graph g;
@@ -218,6 +242,23 @@ int main(int argc, char** argv) {
                    std::to_string(s.learnt_clauses),
                    std::to_string(s.propagations)});
     std::printf("%s", sweep.render().c_str());
+  }
+
+  if (metrics) {
+    std::printf("%s",
+                obs::render_metrics_report(obs::snapshot_metrics()).c_str());
+  }
+  if (!trace_path.empty()) {
+    if (obs::write_chrome_trace(trace_path)) {
+      std::printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n",
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "trace: could not write %s (I/O error, or msropm built "
+                   "with MSROPM_OBS=OFF)\n",
+                   trace_path.c_str());
+      return 2;
+    }
   }
   return status;
 }

@@ -21,6 +21,11 @@
 //   --schedule     queue order: "strategy" (cheap probes first, default) or
 //                  "instance" (all strategies of an instance race)
 //   --csv          emit the report as CSV instead of an aligned table
+//   --trace FILE   record msropm::obs spans and write a Chrome trace-event
+//                  JSON (open in Perfetto / chrome://tracing; one lane per
+//                  worker with attempt + solver-phase spans)
+//   --metrics      enable the msropm::obs metrics registry and print the
+//                  merged counter/timer report after the sweep
 //
 // Exit code: 0 when every instance reached a definitive verdict (colored or
 // UNSAT), 1 when any stayed unknown, 2 on usage errors.
@@ -32,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "msropm/obs/obs.hpp"
 #include "msropm/portfolio/portfolio.hpp"
 #include "msropm/portfolio/sweep.hpp"
 #include "msropm/util/strings.hpp"
@@ -83,7 +89,8 @@ int usage(const char* argv0) {
                "usage: %s [--kings S1,S2,...] [--colors K] "
                "[--kings-unsat S1,S2,...] [--dimacs graph.col]... [--jobs N] "
                "[--timeout-ms T] [--strategies dsatur,cdcl,cdcl-pre,cdcl-inc,tabucol,sa] "
-               "[--seed S] [--schedule strategy|instance] [--csv]\n",
+               "[--seed S] [--schedule strategy|instance] [--csv] "
+               "[--trace FILE] [--metrics]\n",
                argv0);
   return 2;
 }
@@ -98,6 +105,8 @@ int main(int argc, char** argv) {
   portfolio::SweepOptions options;
   std::vector<portfolio::StrategyConfig> strategies;
   bool csv = false;
+  bool metrics = false;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const auto need_value = [&](const char* flag) -> const char* {
@@ -153,6 +162,12 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      const char* v = need_value("--trace");
+      if (!v) return usage(argv[0]);
+      trace_path = v;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     } else {
       std::fprintf(stderr, "unrecognized argument: %s\n", argv[i]);
       return usage(argv[0]);
@@ -179,6 +194,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (metrics) msropm::obs::set_metrics_enabled(true);
+  if (!trace_path.empty()) {
+    msropm::obs::set_tracing_enabled(true);
+    msropm::obs::set_thread_lane("main");
+  }
+
   const portfolio::SweepRunner runner(options);
   const portfolio::SweepResult result = runner.run(instances);
   const auto table = runner.report(instances, result);
@@ -189,5 +210,22 @@ int main(int argc, char** argv) {
       result.decided(), instances.size(), result.wall_ms,
       options.portfolio.num_workers, options.portfolio.strategies.size(),
       static_cast<unsigned long long>(options.portfolio.master_seed));
+
+  if (metrics) {
+    std::printf("%s", msropm::obs::render_metrics_report(msropm::obs::snapshot_metrics())
+                          .c_str());
+  }
+  if (!trace_path.empty()) {
+    if (msropm::obs::write_chrome_trace(trace_path)) {
+      std::printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n",
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "trace: could not write %s (I/O error, or msropm built "
+                   "with MSROPM_OBS=OFF)\n",
+                   trace_path.c_str());
+      return 2;
+    }
+  }
   return result.decided() == instances.size() ? 0 : 1;
 }

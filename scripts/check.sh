@@ -15,6 +15,14 @@
 #                                           # portfolio + stop-token + arena
 #                                           # cancellation tests under
 #                                           # ThreadSanitizer
+#   CHECK_OBS=1 scripts/check.sh            # normal run, then additionally
+#                                           # run an instrumented 4-worker
+#                                           # portfolio sweep with --trace
+#                                           # --metrics, validate the Chrome
+#                                           # trace with check_trace.py, and
+#                                           # run bench_portfolio as the
+#                                           # compiled-in-but-disabled obs
+#                                           # overhead gate
 #   CHECK_BENCH=1 scripts/check.sh          # normal run, then additionally
 #                                           # run bench_sat_arena (hard gate:
 #                                           # allocation scaling),
@@ -73,9 +81,33 @@ if [ "${CHECK_TSAN:-0}" = "1" ] && [ "${SANITIZE}" != "thread" ]; then
   cmake --build build-tsan -j "${JOBS}" --target \
     portfolio_test portfolio_cancel_test util_stop_token_test \
     sat_arena_test sat_arena_equivalence_test sat_solver_growth_test \
-    sat_incremental_test
+    sat_incremental_test obs_test
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-    -R "^(portfolio_test|portfolio_cancel_test|util_stop_token_test|sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test|sat_incremental_test)\$"
+    -R "^(portfolio_test|portfolio_cancel_test|util_stop_token_test|sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test|sat_incremental_test|obs_test)\$"
+fi
+
+# Observability end-to-end: an instrumented 4-worker sweep must emit a valid
+# Chrome trace (one lane per worker, attempt spans wrapping nested sat.*
+# solver-phase spans, stack discipline within every lane — validated by
+# scripts/check_trace.py), and bench_portfolio doubles as the overhead gate
+# for obs-compiled-but-disabled (plus the hard verdict/speedup gates it
+# always enforces).
+if [ "${CHECK_OBS:-0}" = "1" ] && [ "${SANITIZE}" = "OFF" ]; then
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target \
+    portfolio_sweep bench_portfolio
+  # The grid has to be heavy enough that all four workers pick up attempts
+  # before the cursor drains — tiny grids finish inside worker-0's first
+  # drain and leave the other lanes empty.
+  "./${BUILD_DIR}/portfolio_sweep" --jobs 4 --kings 20,26,30,36,40,46 \
+    --kings-unsat 10,12,14 --schedule instance \
+    --trace "${BUILD_DIR}/obs_trace.json" --metrics
+  python3 scripts/check_trace.py "${BUILD_DIR}/obs_trace.json" --min-workers 4
+  # jq is a second, independent parser: a trace Python accepts but jq rejects
+  # would still break downstream tooling.
+  if command -v jq >/dev/null 2>&1; then
+    jq -e '.traceEvents | length > 0' "${BUILD_DIR}/obs_trace.json" >/dev/null
+  fi
+  "./${BUILD_DIR}/bench_portfolio"
 fi
 
 # Perf-regression gates: bench_sat_arena exits nonzero when construction

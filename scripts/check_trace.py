@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON produced by msropm::obs.
+
+Checks, in order:
+  1. The file parses as JSON and has the Chrome trace-event shape
+     ({"traceEvents": [...]}).
+  2. At least --min-workers lanes named worker-* exist (thread_name metadata),
+     and every worker lane contains at least one attempt:* complete span.
+  3. Within every lane, complete ("X") spans obey stack discipline: any two
+     are either disjoint or properly nested. RAII spans recorded from one
+     thread guarantee this; a violation means events leaked across lanes.
+  4. At least one sat.* solver-phase span exists somewhere (the nested
+     instrumentation actually fired inside an attempt).
+
+Instant markers (win:*/cancelled/timeout) are reported but not required:
+whether a race produces cancellations depends on timing and worker count.
+
+Usage: check_trace.py TRACE.json [--min-workers N]
+
+Exit codes: 0 = valid, 1 = validation failure, 2 = usage/parse error.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def spans_properly_nested(spans):
+    """Return an offending pair if two spans partially overlap, else None.
+
+    Timestamps are µs floats rounded to 3 decimals by the exporter; tolerate
+    up to 2 ns of rounding slop when classifying overlap.
+    """
+    eps = 0.002  # µs
+    ordered = sorted(spans, key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+    stack = []
+    for ev in ordered:
+        start, end = ev["ts"], ev["ts"] + ev.get("dur", 0.0)
+        while stack and start >= stack[-1][1] - eps:
+            stack.pop()
+        if stack and end > stack[-1][1] + eps:
+            return (ev, stack[-1][2])
+        stack.append((start, end, ev))
+    return None
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--min-workers", type=int, default=1,
+                        help="minimum number of worker-* lanes required")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as ex:
+        print(f"check_trace: cannot parse {args.trace}: {ex}", file=sys.stderr)
+        sys.exit(2)
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("document is not a Chrome trace ({'traceEvents': [...]})")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is empty")
+
+    lane_names = {}
+    by_tid = collections.defaultdict(list)
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M" and ev.get("name") == "thread_name":
+            lane_names[ev.get("tid")] = ev.get("args", {}).get("name", "")
+        elif ph in ("X", "i"):
+            by_tid[ev.get("tid")].append(ev)
+
+    # A worker lane only counts when it actually recorded events: metadata
+    # alone proves set_thread_lane ran, not that the worker did any work.
+    workers = {tid: name for tid, name in lane_names.items()
+               if name.startswith("worker-") and by_tid.get(tid)}
+    if len(workers) < args.min_workers:
+        fail(f"found {len(workers)} active worker-* lanes "
+             f"({sorted(workers.values())}), need {args.min_workers} — "
+             "is the workload too small to occupy every worker?")
+
+    sat_spans = 0
+    attempt_spans = 0
+    markers = collections.Counter()
+    for tid, lane_events in sorted(by_tid.items()):
+        name = lane_names.get(tid, f"tid-{tid}")
+        spans = [e for e in lane_events if e["ph"] == "X"]
+        for ev in lane_events:
+            if ev["ph"] == "i":
+                markers[ev["name"].split(":")[0]] += 1
+        lane_attempts = sum(1 for e in spans
+                            if e["name"].startswith("attempt:"))
+        lane_sat = sum(1 for e in spans if e["name"].startswith("sat."))
+        sat_spans += lane_sat
+        attempt_spans += lane_attempts
+        if name.startswith("worker-") and lane_attempts == 0:
+            fail(f"worker lane '{name}' has no attempt:* spans")
+        bad = spans_properly_nested(spans)
+        if bad is not None:
+            a, b = bad
+            fail(f"lane '{name}': spans '{a['name']}' (ts={a['ts']}) and "
+                 f"'{b['name']}' (ts={b['ts']}) partially overlap — "
+                 "not properly nested")
+
+    if attempt_spans == 0:
+        fail("no attempt:* spans anywhere in the trace")
+    if sat_spans == 0:
+        fail("no sat.* solver-phase spans — nested instrumentation missing")
+
+    marker_report = ", ".join(f"{k}={v}" for k, v in sorted(markers.items())) \
+        or "none"
+    print(f"check_trace: OK: {len(by_tid)} lanes ({len(workers)} workers), "
+          f"{attempt_spans} attempt spans, {sat_spans} sat.* spans, "
+          f"markers: {marker_report}")
+
+
+if __name__ == "__main__":
+    main()

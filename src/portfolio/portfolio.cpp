@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "msropm/obs/obs.hpp"
 #include "msropm/sat/coloring_encoder.hpp"
 #include "msropm/sat/incremental_coloring.hpp"
 #include "msropm/solvers/dsatur.hpp"
@@ -202,6 +203,49 @@ struct InstanceState {
   PortfolioResult result;
 };
 
+// Attempt-lifecycle metrics: one timer for attempt duration, one for the
+// cancellation latency (StopToken trip -> worker exit from the strategy),
+// and counters for each way an attempt can end.
+struct PortfolioMetrics {
+  obs::MetricId t_attempt = obs::timer("portfolio.attempt");
+  obs::MetricId t_cancel_latency = obs::timer("portfolio.cancel_latency");
+  obs::MetricId c_attempts = obs::counter("portfolio.attempts");
+  obs::MetricId c_wins = obs::counter("portfolio.wins");
+  obs::MetricId c_cancelled = obs::counter("portfolio.cancelled");
+  obs::MetricId c_timeouts = obs::counter("portfolio.timeouts");
+  obs::MetricId c_skipped = obs::counter("portfolio.skipped");
+};
+
+const PortfolioMetrics& pm() {
+  static const PortfolioMetrics m;
+  return m;
+}
+
+// Static span/marker names per strategy so trace events never allocate.
+const char* attempt_span_name(StrategyKind kind) noexcept {
+  switch (kind) {
+    case StrategyKind::kDsatur: return "attempt:dsatur";
+    case StrategyKind::kCdcl: return "attempt:cdcl";
+    case StrategyKind::kCdclPresimplify: return "attempt:cdcl-pre";
+    case StrategyKind::kCdclIncremental: return "attempt:cdcl-inc";
+    case StrategyKind::kTabucol: return "attempt:tabucol";
+    case StrategyKind::kSaPotts: return "attempt:sa";
+  }
+  return "attempt:?";
+}
+
+const char* win_marker_name(StrategyKind kind) noexcept {
+  switch (kind) {
+    case StrategyKind::kDsatur: return "win:dsatur";
+    case StrategyKind::kCdcl: return "win:cdcl";
+    case StrategyKind::kCdclPresimplify: return "win:cdcl-pre";
+    case StrategyKind::kCdclIncremental: return "win:cdcl-inc";
+    case StrategyKind::kTabucol: return "win:tabucol";
+    case StrategyKind::kSaPotts: return "win:sa";
+  }
+  return "win:?";
+}
+
 }  // namespace
 
 std::vector<PortfolioResult> run_portfolio_batch(
@@ -236,8 +280,20 @@ std::vector<PortfolioResult> run_portfolio_batch(
     const StrategyConfig& config = options.strategies[s];
     {
       std::lock_guard<std::mutex> lock(state.mu);
-      if (state.decided) return;  // outcome stays ran == false (skipped)
+      if (state.decided) {
+        obs::add(pm().c_skipped, 1);
+        return;  // outcome stays ran == false (skipped)
+      }
     }
+    // Attempt span: queued->running->done, one per (instance, strategy) pair
+    // that actually runs, in the lane of the worker that popped it.
+    obs::Span attempt_span(attempt_span_name(config.kind), pm().t_attempt);
+    attempt_span.arg("instance", i);
+    attempt_span.arg(
+        "queued_us",
+        static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                       Clock::now() - engine_start)
+                                       .count()));
     // Cap the deadline arithmetic: steady_clock counts nanoseconds in an
     // int64, so an "effectively infinite" timeout_ms would overflow the
     // addition and wrap the deadline into the past. A year is indistinguishable
@@ -267,6 +323,23 @@ std::vector<PortfolioResult> run_portfolio_batch(
       run.error = "unknown exception";
     }
     const double task_millis = millis_since(task_start);
+    obs::add(pm().c_attempts, 1);
+    if (run.cancelled) {
+      if (const auto trip = token.flag_trip_time()) {
+        // Sibling cancellation: latency from the StopSource trip to this
+        // worker actually exiting the strategy.
+        const auto latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                    Clock::now() - *trip)
+                                    .count();
+        obs::add(pm().c_cancelled, 1);
+        obs::record_time(pm().t_cancel_latency, latency_ns);
+        obs::trace_instant("cancelled", "latency_us",
+                           static_cast<std::uint64_t>(latency_ns / 1000));
+      } else if (token.deadline_expired()) {
+        obs::add(pm().c_timeouts, 1);
+        obs::trace_instant("timeout", "instance", i);
+      }
+    }
 
     std::lock_guard<std::mutex> lock(state.mu);
     StrategyOutcome& outcome = state.result.outcomes[s];
@@ -285,6 +358,8 @@ std::vector<PortfolioResult> run_portfolio_batch(
         state.result.coloring = std::move(run.coloring);
       }
       state.stop.request_stop();  // cancel sibling strategies cooperatively
+      obs::add(pm().c_wins, 1);
+      obs::trace_instant(win_marker_name(config.kind), "instance", i);
     }
   };
 
@@ -307,7 +382,16 @@ std::vector<PortfolioResult> run_portfolio_batch(
       std::vector<std::thread> pool;
       const std::size_t spawned = std::min(options.num_workers, tasks.size());
       pool.reserve(spawned);
-      for (std::size_t w = 0; w < spawned; ++w) pool.emplace_back(worker);
+      for (std::size_t w = 0; w < spawned; ++w) {
+        pool.emplace_back([&worker, w]() {
+          // Lanes are keyed by name, so worker slot w keeps ONE trace lane
+          // across waves even though strategy-major re-spawns the pool.
+          if (obs::tracing_enabled()) {
+            obs::set_thread_lane("worker-" + std::to_string(w));
+          }
+          worker();
+        });
+      }
       for (std::thread& t : pool) t.join();
     }
   };

@@ -227,6 +227,15 @@ class Solver {
   /// false when an assumption contradicts a preprocessing-implied fixed
   /// value — an immediate UNSAT with that assumption as the core.
   [[nodiscard]] bool map_assumptions(const std::vector<Lit>& assumptions);
+  /// The actual CDCL search behind solve(assumptions); the public entry is a
+  /// thin dispatcher so fully-disabled observability costs one branch per
+  /// solve() call, not per search step.
+  [[nodiscard]] SolveResult solve_internal(const std::vector<Lit>& assumptions);
+  /// Instrumented path: wraps solve_internal in an obs span annotated with
+  /// the call's conflict/restart deltas and republishes the SolverStats
+  /// deltas as msropm::obs registry counters (the struct stays the façade —
+  /// both views always agree).
+  [[nodiscard]] SolveResult solve_obs(const std::vector<Lit>& assumptions);
   /// MiniSat analyzeFinal: starting from falsified assumption p (internal
   /// space), walk the trail backwards through reasons and collect the
   /// assumption decisions that imply ~p. Fills failed_assumptions_ with the

@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "msropm/obs/obs.hpp"
+
 namespace msropm::sat {
 
 namespace {
@@ -108,7 +110,17 @@ SolveResult IncrementalColoringSolver::solve_k(unsigned k) {
     const unsigned c = min_colors_ + static_cast<unsigned>(i);
     assumptions_.push_back(c < k ? pos(selectors_[i]) : neg(selectors_[i]));
   }
+  // One span per incremental round: the nested sat.solve span carries the
+  // search detail, this one pins which k the round queried.
+  static const obs::MetricId t_solve_k = obs::timer("chromatic.solve_k");
+  static const obs::MetricId c_rounds = obs::counter("chromatic.rounds");
+  obs::Span span("chromatic.solve_k", t_solve_k);
+  span.arg("k", k);
+  const std::uint64_t conflicts_before = solver_->stats().conflicts;
   const SolveResult result = solver_->solve(assumptions_);
+  span.arg("conflicts", solver_->stats().conflicts - conflicts_before);
+  span.arg("result", static_cast<std::uint64_t>(result));
+  obs::add(c_rounds, 1);
   ++solve_calls_;
   if (result == SolveResult::kSat) {
     coloring_ = enc_.decode(solver_->model());

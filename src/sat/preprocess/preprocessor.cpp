@@ -2,6 +2,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "msropm/obs/obs.hpp"
 #include "msropm/sat/preprocess.hpp"
 
 namespace msropm::sat {
@@ -9,6 +10,30 @@ namespace msropm::sat {
 namespace {
 
 constexpr std::uint32_t kNoClause = ~std::uint32_t{0};
+
+// Phase timers and clauses-removed counters for the preprocessing passes,
+// interned once. Counters mirror the PreprocessStats fields published at the
+// end of run().
+struct PreprocessMetrics {
+  obs::MetricId t_run = obs::timer("sat.presimplify");
+  obs::MetricId t_unit = obs::timer("pre.unit");
+  obs::MetricId t_pure = obs::timer("pre.pure");
+  obs::MetricId t_bce = obs::timer("pre.bce");
+  obs::MetricId t_subsume = obs::timer("pre.subsume");
+  obs::MetricId t_bve = obs::timer("pre.bve");
+  obs::MetricId c_unit_fixed = obs::counter("pre.unit_fixed");
+  obs::MetricId c_pure_fixed = obs::counter("pre.pure_fixed");
+  obs::MetricId c_subsumed = obs::counter("pre.subsumed");
+  obs::MetricId c_strengthened = obs::counter("pre.strengthened");
+  obs::MetricId c_blocked = obs::counter("pre.blocked");
+  obs::MetricId c_eliminated_vars = obs::counter("pre.eliminated_vars");
+  obs::MetricId c_rounds = obs::counter("pre.rounds");
+};
+
+const PreprocessMetrics& pmx() {
+  static const PreprocessMetrics m;
+  return m;
+}
 
 /// Compact an occurrence list in place, dropping deleted clauses.
 template <typename Pred>
@@ -551,6 +576,7 @@ PreprocessResult Preprocessor::run() {
   ran_ = true;
   const auto t0 = std::chrono::steady_clock::now();
   PreprocessResult result;
+  obs::Span run_span("sat.presimplify", pmx().t_run);
 
   // Cancellation is polled between passes: every pass leaves the formula
   // equisatisfiable with a consistent Remapper stack, so stopping here is
@@ -559,27 +585,47 @@ PreprocessResult Preprocessor::run() {
   while (!unsat_ && stats_.rounds < options_.max_rounds && !stopped()) {
     ++stats_.rounds;
     bool changed = false;
-    if (options_.unit_propagation) changed |= propagate_units();
+    if (options_.unit_propagation) {
+      obs::Span span("pre.unit", pmx().t_unit);
+      const std::size_t before = stats_.unit_fixed;
+      changed |= propagate_units();
+      span.arg("fixed", stats_.unit_fixed - before);
+    }
     if (!unsat_ && options_.pure_literals && !stopped()) {
+      obs::Span span("pre.pure", pmx().t_pure);
+      const std::size_t before = stats_.pure_fixed;
       changed |= eliminate_pure_literals();
+      span.arg("fixed", stats_.pure_fixed - before);
     }
     // BCE first: on structured encodings it removes whole clause families
     // (e.g. at-most-one ladders), which shrinks every occurrence list the
     // quadratic subsumption and BVE scans walk afterwards.
     if (!unsat_ && options_.blocked_clauses && !stopped()) {
+      obs::Span span("pre.bce", pmx().t_bce);
+      const std::size_t before = stats_.blocked;
       changed |= blocked_clause_pass();
+      span.arg("blocked", stats_.blocked - before);
     }
     if (!unsat_ && (options_.subsumption || options_.self_subsumption) &&
         !stopped()) {
+      obs::Span span("pre.subsume", pmx().t_subsume);
+      const std::size_t before_sub = stats_.subsumed;
+      const std::size_t before_str = stats_.strengthened;
       changed |= subsumption_pass();
       if (options_.unit_propagation) changed |= propagate_units();
+      span.arg("subsumed", stats_.subsumed - before_sub);
+      span.arg("strengthened", stats_.strengthened - before_str);
     }
     if (!unsat_ && options_.variable_elimination && !stopped()) {
+      obs::Span span("pre.bve", pmx().t_bve);
+      const std::size_t before = stats_.eliminated_vars;
       changed |= variable_elimination_pass();
       if (options_.unit_propagation) changed |= propagate_units();
+      span.arg("eliminated", stats_.eliminated_vars - before);
     }
     if (!changed) break;
   }
+  run_span.arg("rounds", stats_.rounds);
 
   if (unsat_) {
     result.unsat = true;
@@ -595,6 +641,16 @@ PreprocessResult Preprocessor::run() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   result.stats = stats_;
+  if (obs::metrics_enabled()) {
+    const PreprocessMetrics& m = pmx();
+    obs::add(m.c_unit_fixed, stats_.unit_fixed);
+    obs::add(m.c_pure_fixed, stats_.pure_fixed);
+    obs::add(m.c_subsumed, stats_.subsumed);
+    obs::add(m.c_strengthened, stats_.strengthened);
+    obs::add(m.c_blocked, stats_.blocked);
+    obs::add(m.c_eliminated_vars, stats_.eliminated_vars);
+    obs::add(m.c_rounds, stats_.rounds);
+  }
   return result;
 }
 

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "msropm/obs/obs.hpp"
+
 namespace msropm::sat {
 
 namespace {
@@ -23,9 +25,42 @@ constexpr bool kCheckInvariants = true;
 constexpr bool kCheckInvariants = false;
 #endif
 
+// Metric ids for the solver's phase timers and SolverStats counters,
+// interned once per process. The counters mirror the SolverStats struct
+// field-for-field: solve_obs() publishes per-call deltas, so registry totals
+// and the struct façade always agree.
+struct SolverMetrics {
+  obs::MetricId t_ingest = obs::timer("sat.ingest");
+  obs::MetricId t_solve = obs::timer("sat.solve");
+  obs::MetricId t_propagate = obs::timer("sat.propagate");
+  obs::MetricId t_analyze = obs::timer("sat.analyze");
+  obs::MetricId t_reduce = obs::timer("sat.reduce_gc");
+  obs::MetricId c_decisions = obs::counter("sat.decisions");
+  obs::MetricId c_propagations = obs::counter("sat.propagations");
+  obs::MetricId c_conflicts = obs::counter("sat.conflicts");
+  obs::MetricId c_restarts = obs::counter("sat.restarts");
+  obs::MetricId c_learnt = obs::counter("sat.learnt_clauses");
+  obs::MetricId c_removed = obs::counter("sat.removed_learnts");
+  obs::MetricId c_blocker_skips = obs::counter("sat.blocker_skips");
+  obs::MetricId c_binary_props = obs::counter("sat.binary_propagations");
+  obs::MetricId c_heap_decisions = obs::counter("sat.heap_decisions");
+  obs::MetricId c_gc_runs = obs::counter("sat.gc_runs");
+  obs::MetricId c_gc_freed = obs::counter("sat.gc_freed_words");
+  obs::MetricId g_arena_alloc = obs::gauge("sat.arena_alloc_words");
+  obs::MetricId g_arena_peak = obs::gauge("sat.arena_peak_words");
+};
+
+const SolverMetrics& sm() {
+  static const SolverMetrics m;
+  return m;
+}
+
 }  // namespace
 
 Solver::Solver(const Cnf& cnf, SolverOptions options) : options_(options) {
+  obs::Span ingest_span("sat.ingest", sm().t_ingest);
+  ingest_span.arg("vars", cnf.num_vars());
+  ingest_span.arg("clauses", cnf.num_clauses());
   learnt_cap_ = options_.learnt_cap;
   if (options_.presimplify) {
     if (!options_.preprocess.stop.stop_possible()) {
@@ -540,6 +575,7 @@ void Solver::reduce_learnts() {
   // Remove the lower-activity half of the learnt clauses that are not
   // currently reasons. learnt_refs_ only ever holds long clauses (binary
   // learnts are implicit watchers and are kept forever, like MiniSat).
+  obs::Span reduce_span("sat.reduce_gc", sm().t_reduce);
   auto& candidates = reduce_candidates_;
   candidates.clear();
   for (ClauseRef cr : learnt_refs_) candidates.push_back(cr);
@@ -565,6 +601,7 @@ void Solver::reduce_learnts() {
     if (r.is_clause()) arena_.set_mark(r.cref(), false);
   }
   stats_.removed_learnts += removed;
+  reduce_span.arg("removed", removed);
   learnt_refs_.erase(
       std::remove_if(learnt_refs_.begin(), learnt_refs_.end(),
                      [this](ClauseRef cr) { return arena_.deleted(cr); }),
@@ -593,6 +630,8 @@ void Solver::purge_watches() {
 }
 
 void Solver::garbage_collect() {
+  obs::Span gc_span("sat.gc");
+  gc_span.arg("wasted_words", arena_.wasted_words());
   ClauseArena to(arena_.used_words() - arena_.wasted_words());
   // Every live long clause sits in exactly two watch lists, so relocating
   // the watches covers the whole database; reasons and the learnt list then
@@ -762,6 +801,42 @@ void Solver::analyze_final(Lit p) {
 }
 
 SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
+  if (obs::gate() == 0) return solve_internal(assumptions);
+  return solve_obs(assumptions);
+}
+
+SolveResult Solver::solve_obs(const std::vector<Lit>& assumptions) {
+  const SolverStats before = stats_;
+  SolveResult result;
+  {
+    obs::Span span("sat.solve", sm().t_solve);
+    result = solve_internal(assumptions);
+    span.arg("conflicts", stats_.conflicts - before.conflicts);
+    span.arg("restarts", stats_.restarts - before.restarts);
+    span.arg("decisions", stats_.decisions - before.decisions);
+    span.arg("result", static_cast<std::uint64_t>(result));
+  }
+  if (obs::metrics_enabled()) {
+    const SolverMetrics& m = sm();
+    obs::add(m.c_decisions, stats_.decisions - before.decisions);
+    obs::add(m.c_propagations, stats_.propagations - before.propagations);
+    obs::add(m.c_conflicts, stats_.conflicts - before.conflicts);
+    obs::add(m.c_restarts, stats_.restarts - before.restarts);
+    obs::add(m.c_learnt, stats_.learnt_clauses - before.learnt_clauses);
+    obs::add(m.c_removed, stats_.removed_learnts - before.removed_learnts);
+    obs::add(m.c_blocker_skips, stats_.blocker_skips - before.blocker_skips);
+    obs::add(m.c_binary_props,
+             stats_.binary_propagations - before.binary_propagations);
+    obs::add(m.c_heap_decisions, stats_.heap_decisions - before.heap_decisions);
+    obs::add(m.c_gc_runs, stats_.gc_runs - before.gc_runs);
+    obs::add(m.c_gc_freed, stats_.gc_freed_words - before.gc_freed_words);
+    obs::set_gauge(m.g_arena_alloc, static_cast<double>(stats_.arena_alloc_words));
+    obs::set_gauge(m.g_arena_peak, static_cast<double>(stats_.arena_peak_words));
+  }
+  return result;
+}
+
+SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions) {
   // Multi-shot entry: unwind whatever the previous call left behind. Doing
   // the root reset lazily HERE (not on the previous call's SAT return path)
   // keeps a final zero-conflict solve from paying an O(V log V) heap unwind
@@ -798,7 +873,11 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
       options_.restart_base * luby(restarts_this_call);
 
   for (;;) {
-    const Reason conflict = propagate();
+    Reason conflict = Reason::none();
+    {
+      obs::Span prop_span("sat.propagate", sm().t_propagate);
+      conflict = propagate();
+    }
     if (!conflict.is_none()) {
       ++stats_.conflicts;
       if (trail_lim_.empty()) {
@@ -808,7 +887,10 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
       }
       if (!heap_active_) activate_heap();
       std::uint32_t bt_level = 0;
-      analyze(conflict, learnt, bt_level);
+      {
+        obs::Span analyze_span("sat.analyze", sm().t_analyze);
+        analyze(conflict, learnt, bt_level);
+      }
       backtrack(bt_level);
       if (learnt.size() == 1) {
         enqueue(learnt[0], Reason::none());

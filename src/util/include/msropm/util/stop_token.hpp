@@ -19,10 +19,22 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <optional>
 
 namespace msropm::util {
 
 class StopSource;
+
+namespace detail {
+/// Shared state between a StopSource and its tokens. `trip_ns` records when
+/// request_stop() first fired (steady_clock ns since epoch, 0 = never), so
+/// observers can measure cancellation latency — the portfolio reports the
+/// span from sibling-cancel trip to worker exit through msropm::obs.
+struct StopState {
+  std::atomic<bool> stopped{false};
+  std::atomic<std::int64_t> trip_ns{0};
+};
+}  // namespace detail
 
 /// Observer half of a StopSource (plus an optional deadline of its own).
 /// Copyable and cheap; safe to poll concurrently from many threads.
@@ -43,18 +55,34 @@ class StopToken {
 
   /// True when this token can ever report a stop (flag or deadline attached).
   [[nodiscard]] bool stop_possible() const noexcept {
-    return flag_ != nullptr || has_deadline_;
+    return state_ != nullptr || has_deadline_;
   }
 
   /// True once the owning source requested a stop or the deadline passed.
   [[nodiscard]] bool stop_requested() const noexcept {
-    if (flag_ && flag_->load(std::memory_order_acquire)) return true;
+    if (state_ && state_->stopped.load(std::memory_order_acquire)) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// When the shared flag tripped (i.e. request_stop() fired — NOT a deadline
+  /// expiry), or nullopt if it has not. Lets observers measure cancellation
+  /// latency: Clock::now() - *flag_trip_time().
+  [[nodiscard]] std::optional<Clock::time_point> flag_trip_time() const noexcept {
+    if (!state_ || !state_->stopped.load(std::memory_order_acquire)) return std::nullopt;
+    const std::int64_t ns = state_->trip_ns.load(std::memory_order_relaxed);
+    if (ns == 0) return std::nullopt;
+    return Clock::time_point(std::chrono::nanoseconds(ns));
+  }
+
+  /// True once this token's own deadline (if any) has passed. Distinguishes
+  /// a per-strategy timeout from a sibling cancellation.
+  [[nodiscard]] bool deadline_expired() const noexcept {
     return has_deadline_ && Clock::now() >= deadline_;
   }
 
  private:
   friend class StopSource;
-  std::shared_ptr<const std::atomic<bool>> flag_;
+  std::shared_ptr<const detail::StopState> state_;
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
 };
@@ -63,17 +91,28 @@ class StopToken {
 /// tokens minted from this source observe it.
 class StopSource {
  public:
-  StopSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+  StopSource() : state_(std::make_shared<detail::StopState>()) {}
 
-  void request_stop() noexcept { flag_->store(true, std::memory_order_release); }
+  void request_stop() noexcept {
+    if (!state_->stopped.load(std::memory_order_acquire)) {
+      // First requester stamps the trip time; the CAS keeps it from racing
+      // requesters overwriting each other (earliest stamp wins).
+      std::int64_t expected = 0;
+      const auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           StopToken::Clock::now().time_since_epoch())
+                           .count();
+      state_->trip_ns.compare_exchange_strong(expected, now, std::memory_order_relaxed);
+      state_->stopped.store(true, std::memory_order_release);
+    }
+  }
 
   [[nodiscard]] bool stop_requested() const noexcept {
-    return flag_->load(std::memory_order_acquire);
+    return state_->stopped.load(std::memory_order_acquire);
   }
 
   [[nodiscard]] StopToken token() const noexcept {
     StopToken t;
-    t.flag_ = flag_;
+    t.state_ = state_;
     return t;
   }
 
@@ -87,7 +126,7 @@ class StopSource {
   }
 
  private:
-  std::shared_ptr<std::atomic<bool>> flag_;
+  std::shared_ptr<detail::StopState> state_;
 };
 
 }  // namespace msropm::util

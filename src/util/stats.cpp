@@ -55,10 +55,18 @@ double RunningStats::min() const noexcept { return n_ == 0 ? 0.0 : min_; }
 
 double RunningStats::max() const noexcept { return n_ == 0 ? 0.0 : max_; }
 
+const std::vector<double>& SampleSet::sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
 double SampleSet::percentile(double p) const {
   if (samples_.empty()) throw std::domain_error("percentile of empty SampleSet");
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
+  const std::vector<double>& sorted = this->sorted();
   if (sorted.size() == 1) return sorted.front();
   const double clamped = std::clamp(p, 0.0, 100.0);
   const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
@@ -70,12 +78,12 @@ double SampleSet::percentile(double p) const {
 
 double SampleSet::min() const {
   if (samples_.empty()) throw std::domain_error("min of empty SampleSet");
-  return *std::min_element(samples_.begin(), samples_.end());
+  return sorted().front();
 }
 
 double SampleSet::max() const {
   if (samples_.empty()) throw std::domain_error("max of empty SampleSet");
-  return *std::max_element(samples_.begin(), samples_.end());
+  return sorted().back();
 }
 
 double SampleSet::mean() const {

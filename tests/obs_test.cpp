@@ -1,0 +1,471 @@
+// Tests for msropm::obs: exact cross-thread counter merging, span nesting
+// and lane attribution, ring-buffer drop behavior, Chrome trace-event export
+// (parsed with a minimal JSON validator — no external deps), the overhead
+// gate's disabled-is-noop contract, and the SolverStats-façade identity
+// (registry counters == struct fields after a solve). ObsConcurrent.* runs
+// writers against snapshots and is the CHECK_TSAN=1 target.
+
+#include "msropm/obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "msropm/graph/builders.hpp"
+#include "msropm/sat/coloring_encoder.hpp"
+#include "msropm/sat/solver.hpp"
+
+namespace obs = msropm::obs;
+
+#if defined(MSROPM_OBS_DISABLED)
+
+TEST(ObsDisabledBuild, EverythingIsANoop) {
+  obs::set_metrics_enabled(true);
+  obs::set_tracing_enabled(true);
+  const obs::MetricId c = obs::counter("noop.counter");
+  obs::add(c, 7);
+  {
+    obs::Span span("noop.span");
+    span.arg("k", 1);
+  }
+  EXPECT_EQ(obs::gate(), 0u);
+  EXPECT_TRUE(obs::snapshot_metrics().counters.empty());
+  EXPECT_TRUE(obs::snapshot_trace().empty());
+  EXPECT_FALSE(obs::write_chrome_trace("/tmp/obs_disabled_trace.json"));
+}
+
+#else
+
+namespace {
+
+/// Minimal recursive-descent JSON parser: validates syntax only (the test
+/// needs "this file parses as JSON", not a DOM). Returns false on any
+/// violation.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_metrics_enabled(false);
+    obs::set_tracing_enabled(false);
+    obs::reset();
+  }
+  void TearDown() override {
+    obs::set_metrics_enabled(false);
+    obs::set_tracing_enabled(false);
+    obs::reset();
+  }
+};
+
+using ObsConcurrent = ObsTest;
+
+const obs::LaneSnapshot* find_lane(const std::vector<obs::LaneSnapshot>& lanes,
+                                   const std::string& name) {
+  for (const auto& lane : lanes) {
+    if (lane.name == name) return &lane;
+  }
+  return nullptr;
+}
+
+/// Complete events of one lane must obey stack discipline: any two spans are
+/// either disjoint or properly nested (RAII scopes in one thread guarantee
+/// it; crossing would mean events leaked into the wrong lane).
+bool spans_properly_nested(const obs::LaneSnapshot& lane) {
+  std::vector<const obs::TraceEvent*> spans;
+  for (const auto& ev : lane.events) {
+    if (ev.dur_ns >= 0) spans.push_back(&ev);
+  }
+  for (std::size_t a = 0; a < spans.size(); ++a) {
+    for (std::size_t b = a + 1; b < spans.size(); ++b) {
+      const auto a0 = spans[a]->start_ns, a1 = a0 + spans[a]->dur_ns;
+      const auto b0 = spans[b]->start_ns, b1 = b0 + spans[b]->dur_ns;
+      const bool disjoint = a1 <= b0 || b1 <= a0;
+      const bool a_in_b = b0 <= a0 && a1 <= b1;
+      const bool b_in_a = a0 <= b0 && b1 <= a1;
+      if (!disjoint && !a_in_b && !b_in_a) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST_F(ObsTest, CountersMergeExactlyAcrossThreads) {
+  obs::set_metrics_enabled(true);
+  const obs::MetricId c = obs::counter("test.merge");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 10000;
+  constexpr std::uint64_t kDelta = 3;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c]() {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) obs::add(c, kDelta);
+    });
+  }
+  // Main thread contributes through the live-cells path; the workers (joined
+  // before the snapshot) land in the retired accumulators. Both must merge.
+  for (std::uint64_t i = 0; i < kAddsPerThread; ++i) obs::add(c, kDelta);
+  for (auto& t : threads) t.join();
+
+  const auto snap = obs::snapshot_metrics();
+  EXPECT_EQ(snap.counter_value("test.merge"),
+            (kThreads + 1) * kAddsPerThread * kDelta);
+}
+
+TEST_F(ObsTest, DisabledMetricsRecordNothing) {
+  const obs::MetricId c = obs::counter("test.disabled");
+  const obs::MetricId t = obs::timer("test.disabled_timer");
+  obs::add(c, 42);
+  obs::record_time(t, 1000);
+  {
+    obs::Span span("test.disabled_span", t);
+    span.arg("k", 1);
+  }
+  const auto snap = obs::snapshot_metrics();
+  EXPECT_EQ(snap.counter_value("test.disabled"), 0u);
+  const auto* timer = snap.find_timer("test.disabled_timer");
+  ASSERT_NE(timer, nullptr);
+  EXPECT_EQ(timer->stats.count(), 0u);
+  EXPECT_TRUE(obs::snapshot_trace().empty());
+}
+
+TEST_F(ObsTest, TimerPercentilesFromRecordedDurations) {
+  obs::set_metrics_enabled(true);
+  const obs::MetricId t = obs::timer("test.timer");
+  for (int i = 1; i <= 100; ++i) obs::record_time(t, i * 1000);
+  const auto snap = obs::snapshot_metrics();
+  const auto* timer = snap.find_timer("test.timer");
+  ASSERT_NE(timer, nullptr);
+  EXPECT_EQ(timer->stats.count(), 100u);
+  EXPECT_DOUBLE_EQ(timer->stats.min(), 1000.0);
+  EXPECT_DOUBLE_EQ(timer->stats.max(), 100000.0);
+  EXPECT_NEAR(timer->samples.percentile(50.0), 50500.0, 1.0);
+  EXPECT_NEAR(timer->samples.percentile(99.0), 99010.0, 1.0);
+}
+
+TEST_F(ObsTest, GaugeLastWriteWins) {
+  obs::set_metrics_enabled(true);
+  const obs::MetricId g = obs::gauge("test.gauge");
+  obs::set_gauge(g, 1.5);
+  obs::set_gauge(g, 7.25);
+  const auto snap = obs::snapshot_metrics();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "test.gauge");
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 7.25);
+}
+
+TEST_F(ObsTest, SpansNestAndStayInTheirLane) {
+  obs::set_tracing_enabled(true);
+  obs::set_thread_lane("main-test");
+  {
+    obs::Span outer("outer");
+    {
+      obs::Span inner("inner");
+      obs::Span innermost("innermost");
+    }
+    obs::Span sibling("sibling");
+  }
+  std::thread worker([]() {
+    obs::set_thread_lane("worker-test");
+    obs::Span span("worker-span");
+  });
+  worker.join();
+
+  const auto lanes = obs::snapshot_trace();
+  const auto* main_lane = find_lane(lanes, "main-test");
+  const auto* worker_lane = find_lane(lanes, "worker-test");
+  ASSERT_NE(main_lane, nullptr);
+  ASSERT_NE(worker_lane, nullptr);
+
+  ASSERT_EQ(main_lane->events.size(), 4u);
+  EXPECT_TRUE(spans_properly_nested(*main_lane));
+  // Events are recorded at span END, so innermost closes first.
+  EXPECT_STREQ(main_lane->events[0].name, "innermost");
+  EXPECT_STREQ(main_lane->events[1].name, "inner");
+  EXPECT_STREQ(main_lane->events[2].name, "sibling");
+  EXPECT_STREQ(main_lane->events[3].name, "outer");
+  // Containment: inner within outer, innermost within inner.
+  const auto& outer_ev = main_lane->events[3];
+  const auto& inner_ev = main_lane->events[1];
+  EXPECT_GE(inner_ev.start_ns, outer_ev.start_ns);
+  EXPECT_LE(inner_ev.start_ns + inner_ev.dur_ns, outer_ev.start_ns + outer_ev.dur_ns);
+
+  // The worker's span must not leak into the main lane (and vice versa).
+  ASSERT_EQ(worker_lane->events.size(), 1u);
+  EXPECT_STREQ(worker_lane->events[0].name, "worker-span");
+}
+
+TEST_F(ObsTest, SpanArgsAndInstantMarkersRecorded) {
+  obs::set_tracing_enabled(true);
+  obs::set_thread_lane("args-test");
+  {
+    obs::Span span("spanned", obs::kNoMetric);
+    span.arg("alpha", 11);
+    span.arg("beta", 22);
+  }
+  obs::trace_instant("marker", "gamma", 33);
+  const auto lanes = obs::snapshot_trace();
+  const auto* lane = find_lane(lanes, "args-test");
+  ASSERT_NE(lane, nullptr);
+  ASSERT_EQ(lane->events.size(), 2u);
+  const auto& span_ev = lane->events[0];
+  EXPECT_EQ(span_ev.num_args, 2);
+  EXPECT_STREQ(span_ev.arg_keys[0], "alpha");
+  EXPECT_EQ(span_ev.arg_vals[0], 11u);
+  EXPECT_STREQ(span_ev.arg_keys[1], "beta");
+  EXPECT_EQ(span_ev.arg_vals[1], 22u);
+  const auto& marker = lane->events[1];
+  EXPECT_LT(marker.dur_ns, 0);  // instant
+  EXPECT_STREQ(marker.arg_keys[0], "gamma");
+}
+
+TEST_F(ObsTest, RingDropsOldestAndKeepsOrder) {
+  obs::set_tracing_enabled(true);
+  obs::set_thread_lane("ring-test");
+  constexpr std::uint64_t kExtra = 100;
+  for (std::uint64_t i = 0; i < obs::kTraceLaneCapacity + kExtra; ++i) {
+    obs::trace_instant("tick", "i", i);
+  }
+  const auto lanes = obs::snapshot_trace();
+  const auto* lane = find_lane(lanes, "ring-test");
+  ASSERT_NE(lane, nullptr);
+  EXPECT_EQ(lane->events.size(), obs::kTraceLaneCapacity);
+  EXPECT_EQ(lane->dropped, kExtra);
+  // Oldest kExtra events overwritten; survivors start at kExtra, in order.
+  ASSERT_FALSE(lane->events.empty());
+  EXPECT_EQ(lane->events.front().arg_vals[0], kExtra);
+  EXPECT_EQ(lane->events.back().arg_vals[0],
+            obs::kTraceLaneCapacity + kExtra - 1);
+  for (std::size_t i = 1; i < lane->events.size(); ++i) {
+    EXPECT_EQ(lane->events[i].arg_vals[0], lane->events[i - 1].arg_vals[0] + 1);
+  }
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsValidJson) {
+  obs::set_tracing_enabled(true);
+  obs::set_thread_lane("export-test");
+  {
+    obs::Span span("export-span");
+    span.arg("k", 4);
+  }
+  obs::trace_instant("export-marker");
+  const std::string path = ::testing::TempDir() + "/msropm_obs_trace.json";
+  ASSERT_TRUE(obs::write_chrome_trace(path));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  EXPECT_TRUE(JsonValidator(text).valid()) << "exported trace is not valid JSON";
+  // Chrome trace-event essentials: the event array, a thread_name metadata
+  // record for the lane, a complete event, and an instant event.
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"export-test\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"export-span\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, SolverCountersMatchStructFacade) {
+  namespace sat = msropm::sat;
+  obs::set_metrics_enabled(true);
+  // A K=3 coloring of a King's graph is UNSAT (it contains 4-cliques), so
+  // the solve is guaranteed to generate conflicts, learnts, and heap
+  // decisions — every façade field the registry mirrors. Symmetry breaking
+  // must stay off: pinning a 4-clique into 3 colors refutes at ingestion
+  // with zero search.
+  const auto g = msropm::graph::kings_graph(6, 6);
+  const auto enc = sat::encode_coloring(g, 3, {.symmetry_breaking = false});
+  sat::Solver solver(enc.cnf, {});
+  EXPECT_EQ(solver.solve(), sat::SolveResult::kUnsat);
+
+  const auto snap = obs::snapshot_metrics();
+  const auto& s = solver.stats();
+  EXPECT_EQ(snap.counter_value("sat.decisions"), s.decisions);
+  EXPECT_EQ(snap.counter_value("sat.propagations"), s.propagations);
+  EXPECT_EQ(snap.counter_value("sat.conflicts"), s.conflicts);
+  EXPECT_EQ(snap.counter_value("sat.restarts"), s.restarts);
+  EXPECT_EQ(snap.counter_value("sat.learnt_clauses"), s.learnt_clauses);
+  EXPECT_EQ(snap.counter_value("sat.removed_learnts"), s.removed_learnts);
+  EXPECT_EQ(snap.counter_value("sat.blocker_skips"), s.blocker_skips);
+  EXPECT_EQ(snap.counter_value("sat.binary_propagations"), s.binary_propagations);
+  EXPECT_EQ(snap.counter_value("sat.heap_decisions"), s.heap_decisions);
+  EXPECT_GT(s.conflicts, 0u);  // the instance actually exercised the search
+}
+
+TEST_F(ObsTest, SolverPhaseSpansNestWithinSolve) {
+  namespace sat = msropm::sat;
+  obs::set_tracing_enabled(true);
+  obs::set_thread_lane("solver-test");
+  const auto g = msropm::graph::kings_graph(5, 5);
+  const auto enc = sat::encode_coloring(g, 3, {.symmetry_breaking = false});
+  sat::Solver solver(enc.cnf, {});
+  (void)solver.solve();
+
+  const auto lanes = obs::snapshot_trace();
+  const auto* lane = find_lane(lanes, "solver-test");
+  ASSERT_NE(lane, nullptr);
+  const obs::TraceEvent* solve_ev = nullptr;
+  std::size_t propagate_count = 0;
+  for (const auto& ev : lane->events) {
+    if (std::string_view(ev.name) == "sat.solve") solve_ev = &ev;
+    if (std::string_view(ev.name) == "sat.propagate") ++propagate_count;
+  }
+  ASSERT_NE(solve_ev, nullptr);
+  EXPECT_GT(propagate_count, 0u);
+  EXPECT_TRUE(spans_properly_nested(*lane));
+  // Every propagate span sits inside the solve span.
+  for (const auto& ev : lane->events) {
+    if (std::string_view(ev.name) != "sat.propagate") continue;
+    EXPECT_GE(ev.start_ns, solve_ev->start_ns);
+    EXPECT_LE(ev.start_ns + ev.dur_ns, solve_ev->start_ns + solve_ev->dur_ns);
+  }
+}
+
+TEST_F(ObsConcurrent, RecordingRacesSnapshotsCleanly) {
+  obs::set_metrics_enabled(true);
+  obs::set_tracing_enabled(true);
+  const obs::MetricId c = obs::counter("test.concurrent");
+  const obs::MetricId t = obs::timer("test.concurrent_timer");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIters = 2000;
+
+  std::atomic<bool> stop_snapshots{false};
+  std::thread snapshotter([&]() {
+    // Race point-in-time reads against the writers; TSan is the oracle.
+    while (!stop_snapshots.load(std::memory_order_relaxed)) {
+      (void)obs::snapshot_metrics();
+      (void)obs::snapshot_trace();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&, w]() {
+      obs::set_thread_lane("concurrent-" + std::to_string(w));
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        obs::Span span("concurrent-span", t);
+        span.arg("i", i);
+        obs::add(c, 1);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop_snapshots.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  const auto snap = obs::snapshot_metrics();
+  EXPECT_EQ(snap.counter_value("test.concurrent"), kThreads * kIters);
+  const auto* timer = snap.find_timer("test.concurrent_timer");
+  ASSERT_NE(timer, nullptr);
+  EXPECT_EQ(timer->stats.count(), kThreads * kIters);
+}
+
+#endif  // MSROPM_OBS_DISABLED

@@ -124,6 +124,37 @@ TEST(SampleSet, MinMaxMean) {
   EXPECT_NEAR(s.mean(), 7.0 / 3.0, 1e-12);
 }
 
+TEST(SampleSet, SortedCacheInvalidatedByAdd) {
+  // Interleave queries and adds: the cached sorted view must be rebuilt after
+  // every add, never served stale.
+  SampleSet s;
+  s.add(30.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 20.0);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+  s.add(20.0);  // lands between the cached extremes
+  EXPECT_DOUBLE_EQ(s.percentile(50), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 30.0);
+  s.add(5.0);  // new minimum after a min() query
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 5.0);
+  s.add(40.0);  // new maximum after a max() query
+  EXPECT_DOUBLE_EQ(s.max(), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 20.0);
+}
+
+TEST(SampleSet, RepeatedQueriesStayConsistent) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(static_cast<double>(i));
+  // Back-to-back queries hit the cached sorted view; all must agree.
+  for (int pass = 0; pass < 3; ++pass) {
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+    EXPECT_DOUBLE_EQ(s.median(), 50.5);
+    EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+  }
+}
+
 TEST(Correlation, PerfectPositive) {
   std::vector<double> x{1, 2, 3, 4, 5};
   std::vector<double> y{2, 4, 6, 8, 10};

@@ -89,4 +89,56 @@ TEST(StopToken, CopiesShareTheFlag) {
   EXPECT_TRUE(copy.stop_requested());
 }
 
+TEST(StopToken, FlagTripTimeRecordsWhenStopWasRequested) {
+  StopSource source;
+  const StopToken token = source.token();
+  EXPECT_FALSE(token.flag_trip_time().has_value());
+
+  const auto before = StopToken::Clock::now();
+  source.request_stop();
+  const auto after = StopToken::Clock::now();
+
+  const auto trip = token.flag_trip_time();
+  ASSERT_TRUE(trip.has_value());
+  EXPECT_GE(*trip, before);
+  EXPECT_LE(*trip, after);
+}
+
+TEST(StopToken, FlagTripTimeIsFirstRequestOnly) {
+  StopSource source;
+  const StopToken token = source.token();
+  source.request_stop();
+  const auto first = token.flag_trip_time();
+  ASSERT_TRUE(first.has_value());
+  source.request_stop();  // idempotent: must not move the stamp
+  EXPECT_EQ(token.flag_trip_time(), first);
+}
+
+TEST(StopToken, DeadlineExpiryIsNotAFlagTrip) {
+  // A timeout and a sibling-cancel must stay distinguishable: the deadline
+  // stops the token but leaves the flag untripped, and vice versa.
+  const auto past = StopToken::Clock::now() - std::chrono::milliseconds(1);
+  const StopToken timed_out = StopToken::at_deadline(past);
+  EXPECT_TRUE(timed_out.stop_requested());
+  EXPECT_TRUE(timed_out.deadline_expired());
+  EXPECT_FALSE(timed_out.flag_trip_time().has_value());
+
+  StopSource source;
+  const auto future = StopToken::Clock::now() + std::chrono::hours(1);
+  const StopToken cancelled = source.token_with_deadline(future);
+  source.request_stop();
+  EXPECT_TRUE(cancelled.stop_requested());
+  EXPECT_FALSE(cancelled.deadline_expired());
+  EXPECT_TRUE(cancelled.flag_trip_time().has_value());
+}
+
+TEST(StopToken, TripTimeVisibleAcrossThreads) {
+  StopSource source;
+  const StopToken token = source.token();
+  std::thread requester([&source]() { source.request_stop(); });
+  requester.join();
+  ASSERT_TRUE(token.flag_trip_time().has_value());
+  EXPECT_LE(*token.flag_trip_time(), StopToken::Clock::now());
+}
+
 }  // namespace
