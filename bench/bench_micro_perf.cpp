@@ -167,6 +167,42 @@ void BM_ObsSpanOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsSpanOverhead);
 
+// Same gate for the histogram path: a disabled obs::observe() is one relaxed
+// gate load + branch, and compiling histograms in must not add work to it.
+void BM_ObsHistogramOverhead(benchmark::State& state) {
+  obs::set_metrics_enabled(false);
+  obs::set_tracing_enabled(false);
+  static const obs::MetricId hist_id = obs::histogram("bench.obs_hist");
+  for (auto _ : state) {
+    obs::observe(hist_id, 42);
+    benchmark::DoNotOptimize(&hist_id);
+  }
+
+  constexpr std::size_t kObserves = 1u << 20;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kObserves; ++i) {
+    obs::observe(hist_id, i);
+    benchmark::DoNotOptimize(&hist_id);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ns_per_observe =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()) /
+      static_cast<double>(kObserves);
+  state.counters["disabled_ns_per_observe"] = ns_per_observe;
+
+  constexpr double kMaxDisabledNsPerObserve = 8.0;
+  if (ns_per_observe > kMaxDisabledNsPerObserve) {
+    std::fprintf(stderr,
+                 "FAIL: disabled obs::observe costs %.2f ns (budget %.1f ns) "
+                 "— the bit_width/bucket work must stay behind the gate\n",
+                 ns_per_observe, kMaxDisabledNsPerObserve);
+    std::exit(1);
+  }
+}
+BENCHMARK(BM_ObsHistogramOverhead);
+
 // Companion number for the README: what a span costs when tracing IS on
 // (two clock reads + a ring push). Not gated — enabled-path cost is a
 // documented price, not a contract.

@@ -6,12 +6,19 @@
 // Usage:
 //   dimacs_solver <graph.col> [colors=4] [iterations=40] [seed=1] [--sat]
 //                 [--chromatic] [--preprocess] [--no-preprocess]
-//                 [--trace FILE] [--metrics]
+//                 [--trace FILE] [--metrics] [--metrics-json FILE]
+//                 [--metrics-prom FILE]
 //
 // --trace records msropm::obs spans (solver phases, preprocessing passes,
 // incremental rounds) and writes a Chrome trace-event JSON on exit; --metrics
 // enables the obs registry and prints the merged counter/timer report — the
 // sat.* counters there match the SolverStats tables below it one-for-one.
+// --metrics-json / --metrics-prom additionally export the SAME snapshot as a
+// JSON document / Prometheus text format (both imply --metrics). All of the
+// observability outputs are emitted on EVERY exit path once the flags parsed
+// — including input errors, kUnknown verdicts, and cancellations — so an
+// instrumented run never silently loses its data. Repeating any of these
+// flags is allowed: the last value wins (with a warning).
 //
 // --sat runs the exact CDCL baseline; by default it presimplifies the CNF
 // through msropm::sat::Preprocessor and prints the preprocessing and search
@@ -32,6 +39,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "msropm/analysis/experiments.hpp"
@@ -91,6 +99,13 @@ void print_sat_stats(const msropm::sat::ExactColoringOutcome& outcome) {
   std::printf("%s", hot.render().c_str());
 }
 
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  file << content;
+  return static_cast<bool>(file.flush());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,7 +115,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <graph.col> [colors=4] [iterations=40] [seed=1] "
                  "[--sat] [--chromatic] [--preprocess] [--no-preprocess] "
-                 "[--trace FILE] [--metrics]\n",
+                 "[--trace FILE] [--metrics] [--metrics-json FILE] "
+                 "[--metrics-prom FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -113,6 +129,17 @@ int main(int argc, char** argv) {
   bool preprocess = true;
   bool metrics = false;
   std::string trace_path;
+  std::string metrics_json_path;
+  std::string metrics_prom_path;
+  // Repeated observability flags are idempotent: the last value wins, with
+  // one warning per flag.
+  int seen_metrics = 0, seen_trace = 0, seen_json = 0, seen_prom = 0;
+  const auto note_repeat = [](const char* flag, int& seen) {
+    if (++seen == 2) {
+      std::fprintf(stderr, "warning: %s given more than once; last value wins\n",
+                   flag);
+    }
+  };
   int positional = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sat") == 0) {
@@ -124,13 +151,29 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--no-preprocess") == 0) {
       preprocess = false;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      note_repeat("--metrics", seen_metrics);
       metrics = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--trace needs a file path\n");
         return 2;
       }
+      note_repeat("--trace", seen_trace);
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--metrics-json needs a file path\n");
+        return 2;
+      }
+      note_repeat("--metrics-json", seen_json);
+      metrics_json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-prom") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--metrics-prom needs a file path\n");
+        return 2;
+      }
+      note_repeat("--metrics-prom", seen_prom);
+      metrics_prom_path = argv[++i];
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "unrecognized flag: %s\n", argv[i]);
       return 2;
@@ -149,18 +192,65 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The exposition flags imply --metrics: a file request without the
+  // registry would always export an empty snapshot.
+  metrics = metrics || !metrics_json_path.empty() || !metrics_prom_path.empty();
   if (metrics) obs::set_metrics_enabled(true);
   if (!trace_path.empty()) {
     obs::set_tracing_enabled(true);
     obs::set_thread_lane("main");
   }
+  if ((!metrics_json_path.empty() || !metrics_prom_path.empty()) &&
+      !obs::metrics_enabled()) {
+    std::fprintf(stderr,
+                 "--metrics-json/--metrics-prom need observability compiled "
+                 "in (this binary was built with MSROPM_OBS=OFF)\n");
+    return 2;
+  }
+
+  // Every exit from here on goes through finish(): an instrumented run emits
+  // the metrics report, the machine-readable exports, and the trace on ALL
+  // paths — input errors and kUnknown included — and all three read one
+  // snapshot, so the report and the exports always agree.
+  const auto finish = [&](int status) -> int {
+    if (metrics) {
+      const obs::MetricsSnapshot snap = obs::snapshot_metrics();
+      std::printf("%s", obs::render_metrics_report(snap).c_str());
+      if (!metrics_json_path.empty() &&
+          !write_text_file(metrics_json_path, obs::export_metrics_json(snap))) {
+        std::fprintf(stderr, "metrics: could not write %s\n",
+                     metrics_json_path.c_str());
+        status = 2;
+      }
+      if (!metrics_prom_path.empty() &&
+          !write_text_file(metrics_prom_path,
+                           obs::export_metrics_prometheus(snap))) {
+        std::fprintf(stderr, "metrics: could not write %s\n",
+                     metrics_prom_path.c_str());
+        status = 2;
+      }
+    }
+    if (!trace_path.empty()) {
+      if (obs::write_chrome_trace(trace_path)) {
+        std::printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n",
+                    trace_path.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "trace: could not write %s (I/O error, or msropm built "
+                     "with MSROPM_OBS=OFF)\n",
+                     trace_path.c_str());
+        status = 2;
+      }
+    }
+    return status;
+  };
 
   graph::Graph g;
   try {
     g = graph::read_dimacs_file(path);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "error reading %s: %s\n", path.c_str(), ex.what());
-    return 2;
+    return finish(2);
   }
   std::printf("%s: %zu nodes, %zu edges, max degree %zu\n", path.c_str(),
               g.num_nodes(), g.num_edges(), g.max_degree());
@@ -170,7 +260,7 @@ int main(int argc, char** argv) {
                  "error: the multi-stage SHIL plan needs a power-of-two "
                  "color count in [2, 128], got %u\n",
                  colors);
-    return 2;
+    return finish(2);
   }
 
   core::MsropmConfig config = analysis::default_machine_config();
@@ -244,21 +334,5 @@ int main(int argc, char** argv) {
     std::printf("%s", sweep.render().c_str());
   }
 
-  if (metrics) {
-    std::printf("%s",
-                obs::render_metrics_report(obs::snapshot_metrics()).c_str());
-  }
-  if (!trace_path.empty()) {
-    if (obs::write_chrome_trace(trace_path)) {
-      std::printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n",
-                  trace_path.c_str());
-    } else {
-      std::fprintf(stderr,
-                   "trace: could not write %s (I/O error, or msropm built "
-                   "with MSROPM_OBS=OFF)\n",
-                   trace_path.c_str());
-      return 2;
-    }
-  }
-  return status;
+  return finish(status);
 }

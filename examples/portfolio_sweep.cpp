@@ -23,15 +23,25 @@
 //   --csv          emit the report as CSV instead of an aligned table
 //   --trace FILE   record msropm::obs spans and write a Chrome trace-event
 //                  JSON (open in Perfetto / chrome://tracing; one lane per
-//                  worker with attempt + solver-phase spans)
+//                  worker with attempt + solver-phase spans and heartbeat
+//                  counter tracks)
 //   --metrics      enable the msropm::obs metrics registry and print the
-//                  merged counter/timer report after the sweep
+//                  merged counter/timer report after the sweep (plus the
+//                  cancellation-latency summary line)
+//   --metrics-json FILE  export the same snapshot as a JSON document
+//   --metrics-prom FILE  export the same snapshot in Prometheus text format
+//                  (both imply --metrics)
+//
+// The observability outputs are emitted on every exit path once the flags
+// parsed — instance-loading errors and undecided sweeps included — and
+// repeating any observability flag keeps the last value (with a warning).
 //
 // Exit code: 0 when every instance reached a definitive verdict (colored or
 // UNSAT), 1 when any stayed unknown, 2 on usage errors.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <optional>
 #include <string>
@@ -90,9 +100,17 @@ int usage(const char* argv0) {
                "[--kings-unsat S1,S2,...] [--dimacs graph.col]... [--jobs N] "
                "[--timeout-ms T] [--strategies dsatur,cdcl,cdcl-pre,cdcl-inc,tabucol,sa] "
                "[--seed S] [--schedule strategy|instance] [--csv] "
-               "[--trace FILE] [--metrics]\n",
+               "[--trace FILE] [--metrics] [--metrics-json FILE] "
+               "[--metrics-prom FILE]\n",
                argv0);
   return 2;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  file << content;
+  return static_cast<bool>(file.flush());
 }
 
 }  // namespace
@@ -107,6 +125,15 @@ int main(int argc, char** argv) {
   bool csv = false;
   bool metrics = false;
   std::string trace_path;
+  std::string metrics_json_path;
+  std::string metrics_prom_path;
+  int seen_metrics = 0, seen_trace = 0, seen_json = 0, seen_prom = 0;
+  const auto note_repeat = [](const char* flag, int& seen) {
+    if (++seen == 2) {
+      std::fprintf(stderr, "warning: %s given more than once; last value wins\n",
+                   flag);
+    }
+  };
 
   for (int i = 1; i < argc; ++i) {
     const auto need_value = [&](const char* flag) -> const char* {
@@ -165,9 +192,21 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       const char* v = need_value("--trace");
       if (!v) return usage(argv[0]);
+      note_repeat("--trace", seen_trace);
       trace_path = v;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      note_repeat("--metrics", seen_metrics);
       metrics = true;
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      const char* v = need_value("--metrics-json");
+      if (!v) return usage(argv[0]);
+      note_repeat("--metrics-json", seen_json);
+      metrics_json_path = v;
+    } else if (std::strcmp(argv[i], "--metrics-prom") == 0) {
+      const char* v = need_value("--metrics-prom");
+      if (!v) return usage(argv[0]);
+      note_repeat("--metrics-prom", seen_prom);
+      metrics_prom_path = v;
     } else {
       std::fprintf(stderr, "unrecognized argument: %s\n", argv[i]);
       return usage(argv[0]);
@@ -177,6 +216,65 @@ int main(int argc, char** argv) {
   if (kings_sides.empty() && unsat_sides.empty() && dimacs_paths.empty()) {
     kings_sides = {10, 14, 18, 22, 26, 30};
   }
+
+  // Enable observability BEFORE instance construction so even an instance
+  // that fails to load leaves a report behind (via finish below).
+  metrics = metrics || !metrics_json_path.empty() || !metrics_prom_path.empty();
+  if (metrics) msropm::obs::set_metrics_enabled(true);
+  if (!trace_path.empty()) {
+    msropm::obs::set_tracing_enabled(true);
+    msropm::obs::set_thread_lane("main");
+  }
+  if ((!metrics_json_path.empty() || !metrics_prom_path.empty()) &&
+      !msropm::obs::metrics_enabled()) {
+    std::fprintf(stderr,
+                 "--metrics-json/--metrics-prom need observability compiled "
+                 "in (this binary was built with MSROPM_OBS=OFF)\n");
+    return 2;
+  }
+
+  // One snapshot feeds the report, both exports, and the cancellation
+  // summary, so every surface agrees; runs on every exit path from here on.
+  const auto finish = [&](int status) -> int {
+    if (metrics) {
+      const msropm::obs::MetricsSnapshot snap = msropm::obs::snapshot_metrics();
+      std::printf("%s", msropm::obs::render_metrics_report(snap).c_str());
+      if (const auto* lat = snap.find_histogram("portfolio.cancel_latency_us");
+          lat != nullptr && lat->count > 0) {
+        std::printf(
+            "cancellation latency: %llu cancelled, p50 %.0f us, p99 %.0f us\n",
+            static_cast<unsigned long long>(lat->count), lat->percentile(50.0),
+            lat->percentile(99.0));
+      }
+      if (!metrics_json_path.empty() &&
+          !write_text_file(metrics_json_path,
+                           msropm::obs::export_metrics_json(snap))) {
+        std::fprintf(stderr, "metrics: could not write %s\n",
+                     metrics_json_path.c_str());
+        status = 2;
+      }
+      if (!metrics_prom_path.empty() &&
+          !write_text_file(metrics_prom_path,
+                           msropm::obs::export_metrics_prometheus(snap))) {
+        std::fprintf(stderr, "metrics: could not write %s\n",
+                     metrics_prom_path.c_str());
+        status = 2;
+      }
+    }
+    if (!trace_path.empty()) {
+      if (msropm::obs::write_chrome_trace(trace_path)) {
+        std::printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n",
+                    trace_path.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "trace: could not write %s (I/O error, or msropm built "
+                     "with MSROPM_OBS=OFF)\n",
+                     trace_path.c_str());
+        status = 2;
+      }
+    }
+    return status;
+  };
 
   std::vector<portfolio::InstanceSpec> instances;
   for (const std::size_t side : kings_sides) {
@@ -190,14 +288,8 @@ int main(int argc, char** argv) {
       instances.push_back(portfolio::dimacs_instance(path, colors));
     } catch (const std::exception& ex) {
       std::fprintf(stderr, "error reading %s: %s\n", path.c_str(), ex.what());
-      return 2;
+      return finish(2);
     }
-  }
-
-  if (metrics) msropm::obs::set_metrics_enabled(true);
-  if (!trace_path.empty()) {
-    msropm::obs::set_tracing_enabled(true);
-    msropm::obs::set_thread_lane("main");
   }
 
   const portfolio::SweepRunner runner(options);
@@ -211,21 +303,5 @@ int main(int argc, char** argv) {
       options.portfolio.num_workers, options.portfolio.strategies.size(),
       static_cast<unsigned long long>(options.portfolio.master_seed));
 
-  if (metrics) {
-    std::printf("%s", msropm::obs::render_metrics_report(msropm::obs::snapshot_metrics())
-                          .c_str());
-  }
-  if (!trace_path.empty()) {
-    if (msropm::obs::write_chrome_trace(trace_path)) {
-      std::printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n",
-                  trace_path.c_str());
-    } else {
-      std::fprintf(stderr,
-                   "trace: could not write %s (I/O error, or msropm built "
-                   "with MSROPM_OBS=OFF)\n",
-                   trace_path.c_str());
-      return 2;
-    }
-  }
-  return result.decided() == instances.size() ? 0 : 1;
+  return finish(result.decided() == instances.size() ? 0 : 1);
 }

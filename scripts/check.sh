@@ -36,6 +36,13 @@
 #                                           # incremental sweep never slower
 #                                           # than from-scratch); all drop
 #                                           # bench_results/*.json
+#   CHECK_BENCH_DIFF=1 scripts/check.sh     # normal run, then run the three
+#                                           # result-dropping benches and diff
+#                                           # the fresh bench_results/ against
+#                                           # the copy committed at HEAD with
+#                                           # scripts/bench_diff.py — fails on
+#                                           # any gated metric regressing
+#                                           # beyond 10%
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -101,7 +108,10 @@ if [ "${CHECK_OBS:-0}" = "1" ] && [ "${SANITIZE}" = "OFF" ]; then
   "./${BUILD_DIR}/portfolio_sweep" --jobs 4 --kings 20,26,30,36,40,46 \
     --kings-unsat 10,12,14 --schedule instance \
     --trace "${BUILD_DIR}/obs_trace.json" --metrics
-  python3 scripts/check_trace.py "${BUILD_DIR}/obs_trace.json" --min-workers 4
+  # --require-counters: with --metrics on, every active worker lane must
+  # publish heartbeat counter tracks alongside its spans.
+  python3 scripts/check_trace.py "${BUILD_DIR}/obs_trace.json" \
+    --min-workers 4 --require-counters
   # jq is a second, independent parser: a trace Python accepts but jq rejects
   # would still break downstream tooling.
   if command -v jq >/dev/null 2>&1; then
@@ -124,4 +134,18 @@ if [ "${CHECK_BENCH:-0}" = "1" ] && [ "${SANITIZE}" = "OFF" ]; then
   "./${BUILD_DIR}/bench_sat_arena"
   "./${BUILD_DIR}/bench_portfolio"
   "./${BUILD_DIR}/bench_chromatic"
+fi
+
+# Bench regression diff: rerun the result-dropping benches (refreshing the
+# working-tree bench_results/), then compare row-by-row against the copy
+# committed at HEAD. bench_diff.py exits 1 when a gated metric (timings,
+# allocation words, speedups, decided counts) regresses beyond 10%, and on
+# any benchmark row that silently disappeared.
+if [ "${CHECK_BENCH_DIFF:-0}" = "1" ] && [ "${SANITIZE}" = "OFF" ]; then
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target \
+    bench_sat_arena bench_portfolio bench_chromatic
+  "./${BUILD_DIR}/bench_sat_arena"
+  "./${BUILD_DIR}/bench_portfolio"
+  "./${BUILD_DIR}/bench_chromatic"
+  python3 scripts/bench_diff.py --git HEAD bench_results --threshold 0.10
 fi

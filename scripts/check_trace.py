@@ -11,11 +11,18 @@ Checks, in order:
      thread guarantee this; a violation means events leaked across lanes.
   4. At least one sat.* solver-phase span exists somewhere (the nested
      instrumentation actually fired inside an attempt).
+  5. Counter ("C") events, when present, are well-formed: the name is
+     "<lane>/<counter>" where <lane> matches the emitting tid's thread_name
+     and <counter> is a known heartbeat track, args.value is numeric, and
+     timestamps are monotone non-decreasing per (tid, name) track.
 
 Instant markers (win:*/cancelled/timeout) are reported but not required:
 whether a race produces cancellations depends on timing and worker count.
+Counter events are likewise optional by default; pass --require-counters
+to demand at least one, with every active worker lane publishing its own
+track (use with --metrics runs where heartbeats are expected to fire).
 
-Usage: check_trace.py TRACE.json [--min-workers N]
+Usage: check_trace.py TRACE.json [--min-workers N] [--require-counters]
 
 Exit codes: 0 = valid, 1 = validation failure, 2 = usage/parse error.
 """
@@ -29,6 +36,22 @@ import sys
 def fail(msg: str) -> None:
     print(f"check_trace: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+# Heartbeat counter tracks the exporter may emit (the part after "<lane>/").
+KNOWN_COUNTERS = {
+    "sat.hb.conflicts_per_sec",
+    "sat.hb.decisions_per_sec",
+    "sat.hb.props_per_conflict",
+    "sat.hb.learnt_live",
+    "sat.hb.arena_words",
+    "sat.hb.restart_interval",
+    "sat.hb.avg_recent_lbd",
+    "portfolio.hb.queue_depth",
+    "portfolio.hb.in_flight",
+    "portfolio.hb.wins",
+    "portfolio.hb.timeouts",
+}
 
 
 def spans_properly_nested(spans):
@@ -55,6 +78,9 @@ def main() -> None:
     parser.add_argument("trace", help="Chrome trace-event JSON file")
     parser.add_argument("--min-workers", type=int, default=1,
                         help="minimum number of worker-* lanes required")
+    parser.add_argument("--require-counters", action="store_true",
+                        help="require >=1 counter event, and one per active "
+                             "worker lane (for --metrics heartbeat runs)")
     args = parser.parse_args()
 
     try:
@@ -72,12 +98,15 @@ def main() -> None:
 
     lane_names = {}
     by_tid = collections.defaultdict(list)
+    counters = []
     for ev in events:
         ph = ev.get("ph")
         if ph == "M" and ev.get("name") == "thread_name":
             lane_names[ev.get("tid")] = ev.get("args", {}).get("name", "")
         elif ph in ("X", "i"):
             by_tid[ev.get("tid")].append(ev)
+        elif ph == "C":
+            counters.append(ev)
 
     # A worker lane only counts when it actually recorded events: metadata
     # alone proves set_thread_lane ran, not that the worker did any work.
@@ -116,10 +145,47 @@ def main() -> None:
     if sat_spans == 0:
         fail("no sat.* solver-phase spans — nested instrumentation missing")
 
+    # Counter tracks: "<lane>/<counter>" per tid, numeric value, monotone ts.
+    last_ts = {}
+    counter_lanes = set()
+    for ev in counters:
+        tid, name, ts = ev.get("tid"), ev.get("name", ""), ev.get("ts")
+        lane = lane_names.get(tid)
+        if lane is None:
+            fail(f"counter '{name}' on tid {tid} which has no thread_name")
+        prefix, sep, base = name.partition("/")
+        if not sep or prefix != lane:
+            fail(f"counter '{name}' on lane '{lane}': name must be "
+                 f"'{lane}/<counter>'")
+        if base not in KNOWN_COUNTERS:
+            fail(f"counter '{name}': unknown track '{base}'")
+        value = ev.get("args", {}).get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(f"counter '{name}' (ts={ts}): args.value is not numeric: "
+                 f"{value!r}")
+        if not isinstance(ts, (int, float)):
+            fail(f"counter '{name}': missing/non-numeric ts")
+        key = (tid, name)
+        if key in last_ts and ts < last_ts[key]:
+            fail(f"counter track '{name}' (tid {tid}): timestamp {ts} goes "
+                 f"backwards (previous {last_ts[key]})")
+        last_ts[key] = ts
+        counter_lanes.add(tid)
+
+    if args.require_counters:
+        if not counters:
+            fail("--require-counters: no counter ('C') events in the trace")
+        silent = sorted(name for tid, name in workers.items()
+                        if tid not in counter_lanes)
+        if silent:
+            fail(f"--require-counters: active worker lanes without counter "
+                 f"events: {silent}")
+
     marker_report = ", ".join(f"{k}={v}" for k, v in sorted(markers.items())) \
         or "none"
     print(f"check_trace: OK: {len(by_tid)} lanes ({len(workers)} workers), "
           f"{attempt_spans} attempt spans, {sat_spans} sat.* spans, "
+          f"{len(counters)} counter events on {len(last_ts)} tracks, "
           f"markers: {marker_report}")
 
 

@@ -33,6 +33,8 @@
 // write_chrome_trace(). Snapshots taken while writers are active are a
 // monotonic point-in-time view; join writers first for exact totals.
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -56,6 +58,14 @@ inline constexpr std::uint32_t kTracingBit = 2u;
 /// kNoMetric and the metric is silently dropped.
 inline constexpr std::size_t kMaxMetricsPerKind = 256;
 
+/// Histogram registry capacity (smaller: each histogram costs 65 buckets of
+/// thread-local storage per thread).
+inline constexpr std::size_t kMaxHistograms = 64;
+
+/// Log-bucket count: bucket 0 holds the value 0, bucket b (1..64) holds
+/// [2^(b-1), 2^b - 1] — i.e. bucket index == std::bit_width(value).
+inline constexpr std::size_t kHistogramBuckets = 65;
+
 /// Events retained per lane before the ring drops the oldest.
 inline constexpr std::size_t kTraceLaneCapacity = 1u << 15;
 
@@ -68,16 +78,73 @@ struct TimerSnapshot {
   util::SampleSet samples;   // retained durations in ns (capped)
 };
 
+/// One merged log-bucketed histogram. Buckets are exact (cross-thread merge
+/// sums per-thread cells, including threads that have exited); percentiles
+/// interpolate linearly within the winning bucket, so they are accurate to
+/// within one power of two.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  /// Lowest value landing in bucket b.
+  [[nodiscard]] static constexpr std::uint64_t bucket_lo(std::size_t b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  /// Highest value landing in bucket b (UINT64_MAX for the top bucket).
+  [[nodiscard]] static constexpr std::uint64_t bucket_hi(std::size_t b) noexcept {
+    if (b == 0) return 0;
+    if (b >= kHistogramBuckets - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+  /// Bucket index a value lands in (== bit_width).
+  [[nodiscard]] static constexpr std::size_t bucket_of(std::uint64_t value) noexcept {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Percentile in [0, 100], linearly interpolated inside the target bucket.
+  [[nodiscard]] double percentile(double p) const noexcept {
+    if (count == 0) return 0.0;
+    if (p < 0.0) p = 0.0;
+    if (p > 100.0) p = 100.0;
+    const double rank = p / 100.0 * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (buckets[b] == 0) continue;
+      const std::uint64_t next = seen + buckets[b];
+      if (static_cast<double>(next) >= rank) {
+        const double lo = static_cast<double>(bucket_lo(b));
+        const double hi = static_cast<double>(bucket_hi(b));
+        const double within =
+            (rank - static_cast<double>(seen)) / static_cast<double>(buckets[b]);
+        return lo + (hi - lo) * (within < 0.0 ? 0.0 : within);
+      }
+      seen = next;
+    }
+    return static_cast<double>(bucket_hi(kHistogramBuckets - 1));
+  }
+};
+
 /// Point-in-time merged view of every registered metric.
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
   std::vector<std::pair<std::string, double>> gauges;           // name-sorted
   std::vector<TimerSnapshot> timers;                            // name-sorted
+  std::vector<HistogramSnapshot> histograms;                    // name-sorted
 
   /// Value of a counter by name; 0 when absent.
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const noexcept;
   /// Timer by name; nullptr when absent.
   [[nodiscard]] const TimerSnapshot* find_timer(std::string_view name) const noexcept;
+  /// Histogram by name; nullptr when absent.
+  [[nodiscard]] const HistogramSnapshot* find_histogram(std::string_view name) const noexcept;
+  /// Gauge by name; 0.0 when absent.
+  [[nodiscard]] double gauge_value(std::string_view name) const noexcept;
 };
 
 inline std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const noexcept {
@@ -94,15 +161,38 @@ inline const TimerSnapshot* MetricsSnapshot::find_timer(std::string_view name) c
   return nullptr;
 }
 
+inline const HistogramSnapshot* MetricsSnapshot::find_histogram(
+    std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+inline double MetricsSnapshot::gauge_value(std::string_view name) const noexcept {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
 /// One recorded trace event, as exposed by snapshot_trace() for tests.
-/// dur_ns < 0 marks an instant event ("i" phase in the Chrome export).
+/// dur_ns < 0 marks an instant event ("i" phase in the Chrome export);
+/// is_counter != 0 marks a counter-track sample ("C" phase) whose double
+/// value is bit-cast into arg_vals[0].
 struct TraceEvent {
   const char* name = nullptr;
   std::int64_t start_ns = 0;
   std::int64_t dur_ns = -1;
   std::uint8_t num_args = 0;
+  std::uint8_t is_counter = 0;
   const char* arg_keys[4] = {nullptr, nullptr, nullptr, nullptr};
   std::uint64_t arg_vals[4] = {0, 0, 0, 0};
+
+  /// Counter-sample value (only meaningful when is_counter != 0).
+  [[nodiscard]] double counter_value() const noexcept {
+    return std::bit_cast<double>(arg_vals[0]);
+  }
 };
 
 /// One lane (Chrome "thread") of the trace, in chronological record order.
@@ -128,17 +218,22 @@ inline void set_tracing_enabled(bool) noexcept {}
 inline MetricId counter(std::string_view) noexcept { return kNoMetric; }
 inline MetricId gauge(std::string_view) noexcept { return kNoMetric; }
 inline MetricId timer(std::string_view) noexcept { return kNoMetric; }
+inline MetricId histogram(std::string_view) noexcept { return kNoMetric; }
 inline void add(MetricId, std::uint64_t) noexcept {}
 inline void set_gauge(MetricId, double) noexcept {}
 inline void record_time(MetricId, std::int64_t) noexcept {}
+inline void observe(MetricId, std::uint64_t) noexcept {}
 
 inline MetricsSnapshot snapshot_metrics() { return {}; }
 inline std::string render_metrics_report(const MetricsSnapshot&) { return {}; }
+inline std::string export_metrics_json(const MetricsSnapshot&) { return "{}\n"; }
+inline std::string export_metrics_prometheus(const MetricsSnapshot&) { return {}; }
 
 inline void set_thread_lane(std::string_view) {}
 inline const char* intern(std::string_view) { return ""; }
 inline void trace_instant(const char*) noexcept {}
 inline void trace_instant(const char*, const char*, std::uint64_t) noexcept {}
+inline void trace_counter(const char*, double) noexcept {}
 inline std::vector<LaneSnapshot> snapshot_trace() { return {}; }
 inline bool write_chrome_trace(const std::string&) { return false; }
 inline void reset() {}
@@ -176,6 +271,8 @@ void set_tracing_enabled(bool on) noexcept;
 [[nodiscard]] MetricId counter(std::string_view name);
 [[nodiscard]] MetricId gauge(std::string_view name);
 [[nodiscard]] MetricId timer(std::string_view name);
+/// Intern a log-bucketed histogram (capacity kMaxHistograms).
+[[nodiscard]] MetricId histogram(std::string_view name);
 
 /// Bump a monotonic counter. No-op unless metrics are enabled.
 void add(MetricId counter_id, std::uint64_t delta) noexcept;
@@ -183,11 +280,23 @@ void add(MetricId counter_id, std::uint64_t delta) noexcept;
 void set_gauge(MetricId gauge_id, double value) noexcept;
 /// Record one duration (ns) into a timer. No-op unless metrics are enabled.
 void record_time(MetricId timer_id, std::int64_t ns) noexcept;
+/// Record one value into a histogram: a relaxed fetch_add on two thread-local
+/// atomics (lock-free, wait-free). No-op unless metrics are enabled.
+void observe(MetricId histogram_id, std::uint64_t value) noexcept;
 
 [[nodiscard]] MetricsSnapshot snapshot_metrics();
-/// Render the snapshot as a util::TextTable report (counters, gauges, and
-/// per-timer count/total/mean/p50/p90/p99 in ms).
+/// Render the snapshot as a util::TextTable report (counters, gauges,
+/// per-timer count/total/mean/p50/p90/p99 in ms, per-histogram percentiles
+/// plus a non-empty-bucket dump).
 [[nodiscard]] std::string render_metrics_report(const MetricsSnapshot& snap);
+/// Serialize the snapshot as a single JSON document (counters/gauges/timers/
+/// histograms). Snapshot-consistent with render_metrics_report when fed the
+/// same snapshot.
+[[nodiscard]] std::string export_metrics_json(const MetricsSnapshot& snap);
+/// Serialize the snapshot in Prometheus text exposition format (counters,
+/// gauges, timers as summaries with quantiles, histograms with cumulative
+/// `le` buckets). Names are sanitized to [a-zA-Z0-9_] and prefixed msropm_.
+[[nodiscard]] std::string export_metrics_prometheus(const MetricsSnapshot& snap);
 
 /// Attach the calling thread to the lane named `name`, creating it on first
 /// use. Lanes are keyed by name: a later thread passing the same name appends
@@ -199,6 +308,10 @@ void set_thread_lane(std::string_view name);
 /// Record an instant marker in the current thread's lane (tracing only).
 void trace_instant(const char* name) noexcept;
 void trace_instant(const char* name, const char* key, std::uint64_t value) noexcept;
+/// Record one counter-track sample ("C" phase) in the current thread's lane.
+/// The exporter prefixes the name with the lane name, so Perfetto renders one
+/// counter track per lane. Tracing only; `name` must outlive the tracer.
+void trace_counter(const char* name, double value) noexcept;
 
 [[nodiscard]] std::vector<LaneSnapshot> snapshot_trace();
 /// Write the whole trace as Chrome trace-event JSON. Returns false on I/O

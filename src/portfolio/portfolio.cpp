@@ -203,17 +203,23 @@ struct InstanceState {
   PortfolioResult result;
 };
 
-// Attempt-lifecycle metrics: one timer for attempt duration, one for the
-// cancellation latency (StopToken trip -> worker exit from the strategy),
-// and counters for each way an attempt can end.
+// Attempt-lifecycle metrics: one timer for attempt duration, a log-bucketed
+// histogram (µs) for the cancellation latency (StopToken trip -> worker exit
+// from the strategy; a histogram rather than a timer so the p99 tail is
+// exact-bucketed and exported via both exposition formats), counters for
+// each way an attempt can end, and batch-level heartbeat gauges.
 struct PortfolioMetrics {
   obs::MetricId t_attempt = obs::timer("portfolio.attempt");
-  obs::MetricId t_cancel_latency = obs::timer("portfolio.cancel_latency");
+  obs::MetricId h_cancel_latency = obs::histogram("portfolio.cancel_latency_us");
   obs::MetricId c_attempts = obs::counter("portfolio.attempts");
   obs::MetricId c_wins = obs::counter("portfolio.wins");
   obs::MetricId c_cancelled = obs::counter("portfolio.cancelled");
   obs::MetricId c_timeouts = obs::counter("portfolio.timeouts");
   obs::MetricId c_skipped = obs::counter("portfolio.skipped");
+  obs::MetricId g_hb_queue = obs::gauge("portfolio.hb.queue_depth");
+  obs::MetricId g_hb_in_flight = obs::gauge("portfolio.hb.in_flight");
+  obs::MetricId g_hb_wins = obs::gauge("portfolio.hb.wins");
+  obs::MetricId g_hb_timeouts = obs::gauge("portfolio.hb.timeouts");
 };
 
 const PortfolioMetrics& pm() {
@@ -275,6 +281,26 @@ std::vector<PortfolioResult> run_portfolio_batch(
   const Clock::time_point engine_start = Clock::now();
   const util::Rng master(options.master_seed);
 
+  // Batch-level heartbeat state: sampled by each worker between attempts (and
+  // when a win/timeout lands), published as gauges + per-lane counter tracks.
+  // Pure observability — never read back by the scheduling logic.
+  std::atomic<std::size_t> hb_in_flight{0};
+  std::atomic<std::uint64_t> hb_wins{0};
+  std::atomic<std::uint64_t> hb_timeouts{0};
+  const auto publish_hb = [&](std::size_t queue_depth) {
+    const auto in_flight = static_cast<double>(hb_in_flight.load(std::memory_order_relaxed));
+    const auto wins = static_cast<double>(hb_wins.load(std::memory_order_relaxed));
+    const auto timeouts = static_cast<double>(hb_timeouts.load(std::memory_order_relaxed));
+    obs::set_gauge(pm().g_hb_queue, static_cast<double>(queue_depth));
+    obs::set_gauge(pm().g_hb_in_flight, in_flight);
+    obs::set_gauge(pm().g_hb_wins, wins);
+    obs::set_gauge(pm().g_hb_timeouts, timeouts);
+    obs::trace_counter("portfolio.hb.queue_depth", static_cast<double>(queue_depth));
+    obs::trace_counter("portfolio.hb.in_flight", in_flight);
+    obs::trace_counter("portfolio.hb.wins", wins);
+    obs::trace_counter("portfolio.hb.timeouts", timeouts);
+  };
+
   const auto run_task = [&](std::size_t i, std::size_t s) {
     InstanceState& state = states[i];
     const StrategyConfig& config = options.strategies[s];
@@ -332,11 +358,13 @@ std::vector<PortfolioResult> run_portfolio_batch(
                                     Clock::now() - *trip)
                                     .count();
         obs::add(pm().c_cancelled, 1);
-        obs::record_time(pm().t_cancel_latency, latency_ns);
+        obs::observe(pm().h_cancel_latency,
+                     static_cast<std::uint64_t>(latency_ns / 1000));
         obs::trace_instant("cancelled", "latency_us",
                            static_cast<std::uint64_t>(latency_ns / 1000));
       } else if (token.deadline_expired()) {
         obs::add(pm().c_timeouts, 1);
+        hb_timeouts.fetch_add(1, std::memory_order_relaxed);
         obs::trace_instant("timeout", "instance", i);
       }
     }
@@ -359,6 +387,7 @@ std::vector<PortfolioResult> run_portfolio_batch(
       }
       state.stop.request_stop();  // cancel sibling strategies cooperatively
       obs::add(pm().c_wins, 1);
+      hb_wins.fetch_add(1, std::memory_order_relaxed);
       obs::trace_instant(win_marker_name(config.kind), "instance", i);
     }
   };
@@ -373,7 +402,16 @@ std::vector<PortfolioResult> run_portfolio_batch(
       for (;;) {
         const std::size_t t = cursor.fetch_add(1, std::memory_order_relaxed);
         if (t >= tasks.size()) return;
-        run_task(tasks[t].first, tasks[t].second);
+        if (obs::gate() != 0) {
+          hb_in_flight.fetch_add(1, std::memory_order_relaxed);
+          publish_hb(tasks.size() - std::min(t + 1, tasks.size()));
+          run_task(tasks[t].first, tasks[t].second);
+          hb_in_flight.fetch_sub(1, std::memory_order_relaxed);
+          publish_hb(tasks.size() -
+                     std::min(cursor.load(std::memory_order_relaxed), tasks.size()));
+        } else {
+          run_task(tasks[t].first, tasks[t].second);
+        }
       }
     };
     if (options.num_workers <= 1) {

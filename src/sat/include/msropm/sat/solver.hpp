@@ -83,6 +83,14 @@ struct SolverOptions {
   /// When presimplify is set the token is also forwarded to the preprocessor
   /// (unless preprocess.stop already carries one).
   util::StopToken stop = {};
+  /// Observability heartbeat cadence: when the obs gate is open, publish a
+  /// progress sample (conflicts/sec, decisions/sec, props/conflict, learnt-DB
+  /// occupancy, restart interval, recent avg LBD) every this many conflicts,
+  /// plus at every restart and learnt reduction. 0 disables the conflict
+  /// cadence (restart/reduction samples still fire). The heartbeat reads
+  /// search state but never writes it: trajectories are bit-identical with
+  /// observability enabled, disabled, or compiled out.
+  std::uint64_t heartbeat_interval = 1024;
 };
 
 /// Multi-shot, assumption-complete CDCL solver (MiniSat incremental style).
@@ -250,6 +258,15 @@ class Solver {
   /// zero-conflict instances (the paper's King's encodings) the heap's
   /// O(V log V) churn is never paid at all.
   void activate_heap();
+  /// Observability-only conflict bookkeeping (called when the obs gate is
+  /// open): records the learnt clause's LBD/length and the conflict trail
+  /// depth into obs histograms, accumulates the recent-LBD window, and
+  /// publishes a heartbeat every options_.heartbeat_interval conflicts.
+  /// Reads search state, writes only hb_* members — never the search.
+  void note_conflict_obs(const std::vector<Lit>& learnt, std::size_t trail_depth);
+  /// Publish one heartbeat sample as obs gauges + trace counter-track events
+  /// and reset the rate window.
+  void publish_heartbeat();
   [[nodiscard]] std::optional<Lit> pick_branch_lit();
   void bump_var(Var v);
   void bump_clause(ClauseRef cr);
@@ -300,6 +317,17 @@ class Solver {
   std::vector<Lit> assumption_origins_;
   std::vector<std::pair<Var, bool>> model_overrides_;  // unconstrained frozen
   std::vector<Lit> failed_assumptions_;  // original space, set on kUnsat
+  // Heartbeat window state (observability only — nothing below is ever read
+  // by the search, so mutating it cannot perturb the trajectory).
+  std::int64_t hb_last_ns_ = 0;          // wall clock at last sample
+  std::uint64_t hb_last_conflicts_ = 0;  // rate-window baselines
+  std::uint64_t hb_last_decisions_ = 0;
+  std::uint64_t hb_last_propagations_ = 0;
+  std::uint64_t hb_lbd_sum_ = 0;         // recent-LBD window (reset per sample)
+  std::uint64_t hb_lbd_count_ = 0;
+  std::uint64_t hb_conflicts_since_ = 0; // conflicts since last sample
+  std::uint64_t hb_restart_interval_ = 0;  // current Luby restart target
+  std::vector<std::uint32_t> lbd_scratch_;  // LBD distinct-level scratch
   std::size_t learnt_cap_ = 0;  // reduction threshold, persists across calls
   bool ok_ = true;          // false once a top-level conflict is derived
   bool db_incomplete_ = false;  // cancelled during ingest: SAT never provable

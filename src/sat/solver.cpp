@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -48,7 +49,29 @@ struct SolverMetrics {
   obs::MetricId c_gc_freed = obs::counter("sat.gc_freed_words");
   obs::MetricId g_arena_alloc = obs::gauge("sat.arena_alloc_words");
   obs::MetricId g_arena_peak = obs::gauge("sat.arena_peak_words");
+  // Search-quality histograms (log-bucketed; feed the clause-tier tuning).
+  obs::MetricId h_lbd = obs::histogram("sat.lbd");
+  obs::MetricId h_learnt_len = obs::histogram("sat.learnt_len");
+  obs::MetricId h_trail_depth = obs::histogram("sat.trail_depth_at_conflict");
+  // Heartbeat gauges: latest progress sample (also emitted as trace counter
+  // tracks so Perfetto graphs them per worker lane).
+  obs::MetricId g_hb_cps = obs::gauge("sat.hb.conflicts_per_sec");
+  obs::MetricId g_hb_dps = obs::gauge("sat.hb.decisions_per_sec");
+  obs::MetricId g_hb_ppc = obs::gauge("sat.hb.props_per_conflict");
+  obs::MetricId g_hb_learnt_live = obs::gauge("sat.hb.learnt_live");
+  obs::MetricId g_hb_arena_words = obs::gauge("sat.hb.arena_words");
+  obs::MetricId g_hb_restart = obs::gauge("sat.hb.restart_interval");
+  obs::MetricId g_hb_avg_lbd = obs::gauge("sat.hb.avg_recent_lbd");
 };
+
+// Heartbeat wall clock. Deliberately NOT the obs trace epoch: that helper
+// only exists in obs-enabled builds, and the heartbeat is only ever taken
+// when the gate is open, so absolute origin does not matter — only deltas.
+std::int64_t hb_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 const SolverMetrics& sm() {
   static const SolverMetrics m;
@@ -616,6 +639,8 @@ void Solver::reduce_learnts() {
   // Compact once a fifth of the buffer is tombstones — the proper fix for
   // the old monotone-growth bug, not just a watch-list purge.
   if (arena_.wasted_words() * 5 > arena_.used_words()) garbage_collect();
+  // A reduction is exactly when learnt-DB occupancy jumps; sample it.
+  if (obs::gate() != 0) publish_heartbeat();
 }
 
 void Solver::purge_watches() {
@@ -807,6 +832,15 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
 
 SolveResult Solver::solve_obs(const std::vector<Lit>& assumptions) {
   const SolverStats before = stats_;
+  // Fresh heartbeat window per instrumented call; the final publish below
+  // guarantees at least one sample even on sub-interval solves.
+  hb_last_ns_ = hb_now_ns();
+  hb_last_conflicts_ = stats_.conflicts;
+  hb_last_decisions_ = stats_.decisions;
+  hb_last_propagations_ = stats_.propagations;
+  hb_lbd_sum_ = 0;
+  hb_lbd_count_ = 0;
+  hb_conflicts_since_ = 0;
   SolveResult result;
   {
     obs::Span span("sat.solve", sm().t_solve);
@@ -833,7 +867,79 @@ SolveResult Solver::solve_obs(const std::vector<Lit>& assumptions) {
     obs::set_gauge(m.g_arena_alloc, static_cast<double>(stats_.arena_alloc_words));
     obs::set_gauge(m.g_arena_peak, static_cast<double>(stats_.arena_peak_words));
   }
+  if (obs::gate() != 0) publish_heartbeat();
   return result;
+}
+
+void Solver::note_conflict_obs(const std::vector<Lit>& learnt,
+                               std::size_t trail_depth) {
+  const SolverMetrics& m = sm();
+  // LBD = distinct decision levels among the learnt literals. Every literal
+  // is assigned here (learnt[0] was just enqueued at the backtrack level).
+  lbd_scratch_.clear();
+  for (const Lit l : learnt) lbd_scratch_.push_back(level_[l.var()]);
+  std::sort(lbd_scratch_.begin(), lbd_scratch_.end());
+  const auto lbd = static_cast<std::uint64_t>(
+      std::unique(lbd_scratch_.begin(), lbd_scratch_.end()) -
+      lbd_scratch_.begin());
+  obs::observe(m.h_lbd, lbd);
+  obs::observe(m.h_learnt_len, learnt.size());
+  obs::observe(m.h_trail_depth, trail_depth);
+  hb_lbd_sum_ += lbd;
+  ++hb_lbd_count_;
+  if (options_.heartbeat_interval != 0 &&
+      ++hb_conflicts_since_ >= options_.heartbeat_interval) {
+    publish_heartbeat();
+  }
+}
+
+void Solver::publish_heartbeat() {
+  const SolverMetrics& m = sm();
+  const std::int64_t now = hb_now_ns();
+  double cps = 0.0;
+  double dps = 0.0;
+  if (hb_last_ns_ != 0 && now > hb_last_ns_) {
+    const double secs = static_cast<double>(now - hb_last_ns_) / 1e9;
+    cps = static_cast<double>(stats_.conflicts - hb_last_conflicts_) / secs;
+    dps = static_cast<double>(stats_.decisions - hb_last_decisions_) / secs;
+  }
+  const std::uint64_t window_conflicts = stats_.conflicts - hb_last_conflicts_;
+  const double ppc =
+      window_conflicts == 0
+          ? 0.0
+          : static_cast<double>(stats_.propagations - hb_last_propagations_) /
+                static_cast<double>(window_conflicts);
+  const double learnt_live =
+      static_cast<double>(learnt_refs_.size() + learnt_binaries_);
+  const double arena_words = static_cast<double>(arena_.used_words());
+  const double avg_lbd =
+      hb_lbd_count_ == 0
+          ? 0.0
+          : static_cast<double>(hb_lbd_sum_) / static_cast<double>(hb_lbd_count_);
+  const double restart_interval = static_cast<double>(hb_restart_interval_);
+
+  obs::set_gauge(m.g_hb_cps, cps);
+  obs::set_gauge(m.g_hb_dps, dps);
+  obs::set_gauge(m.g_hb_ppc, ppc);
+  obs::set_gauge(m.g_hb_learnt_live, learnt_live);
+  obs::set_gauge(m.g_hb_arena_words, arena_words);
+  obs::set_gauge(m.g_hb_restart, restart_interval);
+  obs::set_gauge(m.g_hb_avg_lbd, avg_lbd);
+  obs::trace_counter("sat.hb.conflicts_per_sec", cps);
+  obs::trace_counter("sat.hb.decisions_per_sec", dps);
+  obs::trace_counter("sat.hb.props_per_conflict", ppc);
+  obs::trace_counter("sat.hb.learnt_live", learnt_live);
+  obs::trace_counter("sat.hb.arena_words", arena_words);
+  obs::trace_counter("sat.hb.restart_interval", restart_interval);
+  obs::trace_counter("sat.hb.avg_recent_lbd", avg_lbd);
+
+  hb_last_ns_ = now;
+  hb_last_conflicts_ = stats_.conflicts;
+  hb_last_decisions_ = stats_.decisions;
+  hb_last_propagations_ = stats_.propagations;
+  hb_lbd_sum_ = 0;
+  hb_lbd_count_ = 0;
+  hb_conflicts_since_ = 0;
 }
 
 SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions) {
@@ -871,6 +977,7 @@ SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions) {
   std::uint64_t restarts_this_call = 0;
   std::uint64_t conflicts_until_restart =
       options_.restart_base * luby(restarts_this_call);
+  hb_restart_interval_ = conflicts_until_restart;
 
   for (;;) {
     Reason conflict = Reason::none();
@@ -886,6 +993,7 @@ SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions) {
         return SolveResult::kUnsat;
       }
       if (!heap_active_) activate_heap();
+      const std::size_t trail_at_conflict = trail_.size();
       std::uint32_t bt_level = 0;
       {
         obs::Span analyze_span("sat.analyze", sm().t_analyze);
@@ -910,6 +1018,7 @@ SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions) {
         enqueue(learnt[0], Reason::clause(cr));
       }
       decay_activities();
+      if (obs::gate() != 0) note_conflict_obs(learnt, trail_at_conflict);
       if (conflict_budget != 0 && stats_.conflicts >= conflict_budget) {
         note_arena_peak();
         return SolveResult::kUnknown;
@@ -932,6 +1041,8 @@ SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions) {
         backtrack(0);
         conflicts_until_restart =
             options_.restart_base * luby(restarts_this_call);
+        hb_restart_interval_ = conflicts_until_restart;
+        if (obs::gate() != 0) publish_heartbeat();
       }
       // Binary learnts are kept forever, but they still count toward the
       // reduction trigger so the database-size cadence matches the learning

@@ -468,4 +468,267 @@ TEST_F(ObsConcurrent, RecordingRacesSnapshotsCleanly) {
   EXPECT_EQ(timer->stats.count(), kThreads * kIters);
 }
 
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  // Log buckets: bucket 0 holds only value 0; bucket b holds
+  // [2^(b-1), 2^b - 1]. The top bucket (64) absorbs everything from 2^63 up,
+  // including UINT64_MAX without overflowing the 1<<64 shift.
+  using H = obs::HistogramSnapshot;
+  EXPECT_EQ(H::bucket_of(0), 0u);
+  EXPECT_EQ(H::bucket_of(1), 1u);
+  EXPECT_EQ(H::bucket_of(2), 2u);
+  EXPECT_EQ(H::bucket_of(3), 2u);
+  EXPECT_EQ(H::bucket_of(4), 3u);
+  EXPECT_EQ(H::bucket_of(7), 3u);
+  EXPECT_EQ(H::bucket_of(8), 4u);
+  EXPECT_EQ(H::bucket_of(1023), 10u);
+  EXPECT_EQ(H::bucket_of(1024), 11u);
+  EXPECT_EQ(H::bucket_of(~0ull), 64u);
+  for (unsigned b = 0; b < obs::kHistogramBuckets; ++b) {
+    EXPECT_EQ(H::bucket_of(H::bucket_lo(b)), b);
+    EXPECT_EQ(H::bucket_of(H::bucket_hi(b)), b);
+    EXPECT_LE(H::bucket_lo(b), H::bucket_hi(b));
+  }
+  EXPECT_EQ(H::bucket_hi(64), ~0ull);
+}
+
+TEST_F(ObsTest, HistogramObserveAndPercentiles) {
+  obs::set_metrics_enabled(true);
+  const obs::MetricId h = obs::histogram("test.hist");
+  for (std::uint64_t v = 1; v <= 100; ++v) obs::observe(h, v);
+  const auto snap = obs::snapshot_metrics();
+  const auto* hist = snap.find_histogram("test.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 100u);
+  EXPECT_EQ(hist->sum, 5050u);
+  EXPECT_DOUBLE_EQ(hist->mean(), 50.5);
+  // Bucket resolution is a power of two, so percentiles are approximate:
+  // p50 of 1..100 lands in bucket [32..63], p99 in [64..127].
+  EXPECT_GE(hist->percentile(50.0), 32.0);
+  EXPECT_LE(hist->percentile(50.0), 63.0);
+  EXPECT_GE(hist->percentile(99.0), 64.0);
+  EXPECT_LE(hist->percentile(99.0), 127.0);
+  EXPECT_LE(hist->percentile(0.0), hist->percentile(100.0));
+}
+
+TEST_F(ObsTest, HistogramsMergeExactlyAcrossThreads) {
+  obs::set_metrics_enabled(true);
+  const obs::MetricId h = obs::histogram("test.hist_merge");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h]() {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) obs::observe(h, i % 512);
+    });
+  }
+  // Main thread records through live cells; joined workers land in the
+  // retired accumulators. Counts and sums must both merge exactly.
+  for (std::uint64_t i = 0; i < kPerThread; ++i) obs::observe(h, i % 512);
+  for (auto& t : threads) t.join();
+
+  const auto snap = obs::snapshot_metrics();
+  const auto* hist = snap.find_histogram("test.hist_merge");
+  ASSERT_NE(hist, nullptr);
+  const std::uint64_t total = (kThreads + 1) * kPerThread;
+  EXPECT_EQ(hist->count, total);
+  // Each thread contributes sum(i % 512 for i in 0..4999).
+  std::uint64_t per_thread_sum = 0;
+  for (std::uint64_t i = 0; i < kPerThread; ++i) per_thread_sum += i % 512;
+  EXPECT_EQ(hist->sum, (kThreads + 1) * per_thread_sum);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t n : hist->buckets) bucket_total += n;
+  EXPECT_EQ(bucket_total, total);
+}
+
+TEST_F(ObsTest, DisabledHistogramRecordsNothing) {
+  const obs::MetricId h = obs::histogram("test.hist_disabled");
+  obs::observe(h, 42);
+  const auto snap = obs::snapshot_metrics();
+  const auto* hist = snap.find_histogram("test.hist_disabled");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 0u);
+  EXPECT_EQ(hist->sum, 0u);
+}
+
+TEST_F(ObsTest, CounterTrackEventsRecorded) {
+  obs::set_tracing_enabled(true);
+  obs::set_thread_lane("counter-test");
+  obs::trace_counter("test.track", 1.5);
+  obs::trace_counter("test.track", 3.25);
+  const auto lanes = obs::snapshot_trace();
+  const auto* lane = find_lane(lanes, "counter-test");
+  ASSERT_NE(lane, nullptr);
+  ASSERT_EQ(lane->events.size(), 2u);
+  EXPECT_EQ(lane->events[0].is_counter, 1);
+  EXPECT_DOUBLE_EQ(lane->events[0].counter_value(), 1.5);
+  EXPECT_DOUBLE_EQ(lane->events[1].counter_value(), 3.25);
+  // Counter samples are points on a track, not spans.
+  EXPECT_LT(lane->events[0].dur_ns, 0);
+  EXPECT_LE(lane->events[0].start_ns, lane->events[1].start_ns);
+}
+
+TEST_F(ObsTest, CounterTracksExportAsLanePrefixedCEvents) {
+  obs::set_tracing_enabled(true);
+  obs::set_thread_lane("hb-lane");
+  obs::trace_counter("test.rate", 7.0);
+  {
+    obs::Span span("around-counter");
+    obs::trace_counter("test.rate", 9.0);
+  }
+  const std::string path = ::testing::TempDir() + "/msropm_obs_counters.json";
+  ASSERT_TRUE(obs::write_chrome_trace(path));
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(JsonValidator(text).valid());
+  // Counter events use ph "C" and prefix the lane so Perfetto renders one
+  // track per worker lane instead of merging same-named counters.
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(text.find("\"hb-lane/test.rate\""), std::string::npos);
+  EXPECT_NE(text.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(text.find("\"value\":9"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonExportIsValidAndComplete) {
+  obs::set_metrics_enabled(true);
+  obs::add(obs::counter("test.c"), 5);
+  obs::set_gauge(obs::gauge("test.g"), 2.5);
+  obs::record_time(obs::timer("test.t"), 1000);
+  obs::observe(obs::histogram("test.h"), 17);
+  const auto snap = obs::snapshot_metrics();
+  const std::string json = obs::export_metrics_json(snap);
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.c\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.h\""), std::string::npos);
+}
+
+namespace {
+
+/// Minimal Prometheus text-format line checker. Validates just enough to
+/// catch exporter bugs: every sample line is `name{labels} value` with a
+/// parseable value, histogram `le` buckets are cumulative and end at +Inf ==
+/// _count, and every `# TYPE` names a metric that actually appears.
+struct PromParser {
+  struct Sample {
+    std::string name;
+    std::string labels;  // raw text between braces, may be empty
+    double value = 0.0;
+  };
+  std::vector<Sample> samples;
+  std::vector<std::pair<std::string, std::string>> types;  // (metric, type)
+  std::string error;
+
+  bool parse(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::istringstream ls(line.substr(7));
+        std::string metric, type;
+        if (!(ls >> metric >> type)) return set_error("bad TYPE line: " + line);
+        types.emplace_back(metric, type);
+        continue;
+      }
+      if (line[0] == '#') continue;  // HELP or comment
+      Sample s;
+      std::size_t name_end = line.find_first_of("{ ");
+      if (name_end == std::string::npos) return set_error("no value: " + line);
+      s.name = line.substr(0, name_end);
+      std::size_t value_start = name_end;
+      if (line[name_end] == '{') {
+        const std::size_t close = line.find('}', name_end);
+        if (close == std::string::npos) return set_error("unclosed {: " + line);
+        s.labels = line.substr(name_end + 1, close - name_end - 1);
+        value_start = close + 1;
+      }
+      try {
+        s.value = std::stod(line.substr(value_start));
+      } catch (const std::exception&) {
+        return set_error("unparseable value: " + line);
+      }
+      for (char ch : s.name) {
+        if (!(std::isalnum(static_cast<unsigned char>(ch)) || ch == '_')) {
+          return set_error("invalid metric name char: " + line);
+        }
+      }
+      samples.push_back(std::move(s));
+    }
+    return true;
+  }
+
+  bool set_error(std::string msg) {
+    error = std::move(msg);
+    return false;
+  }
+
+  double value_of(const std::string& name, const std::string& labels = "") const {
+    for (const auto& s : samples) {
+      if (s.name == name && s.labels == labels) return s.value;
+    }
+    return -1.0;
+  }
+};
+
+}  // namespace
+
+TEST_F(ObsTest, PrometheusExportWellFormed) {
+  obs::set_metrics_enabled(true);
+  obs::add(obs::counter("test.requests"), 5);
+  obs::set_gauge(obs::gauge("test.depth"), 2.5);
+  obs::record_time(obs::timer("test.latency"), 1000);
+  for (std::uint64_t v : {1ull, 3ull, 3ull, 40ull}) {
+    obs::observe(obs::histogram("test.sizes"), v);
+  }
+  const auto snap = obs::snapshot_metrics();
+  const std::string prom = obs::export_metrics_prometheus(snap);
+
+  PromParser p;
+  ASSERT_TRUE(p.parse(prom)) << p.error << "\n" << prom;
+
+  // Counter: msropm_ prefix, dots sanitized, _total suffix, right value.
+  EXPECT_DOUBLE_EQ(p.value_of("msropm_test_requests_total"), 5.0);
+  EXPECT_DOUBLE_EQ(p.value_of("msropm_test_depth"), 2.5);
+  // Timer renders as a summary with count and quantiles.
+  EXPECT_DOUBLE_EQ(p.value_of("msropm_test_latency_ns_count"), 1.0);
+
+  // Histogram: cumulative le buckets ending in +Inf == _count.
+  double prev = 0.0;
+  bool saw_inf = false;
+  for (const auto& s : p.samples) {
+    if (s.name != "msropm_test_sizes_bucket") continue;
+    EXPECT_GE(s.value, prev) << "buckets must be cumulative";
+    prev = s.value;
+    if (s.labels.find("+Inf") != std::string::npos) saw_inf = true;
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_DOUBLE_EQ(prev, 4.0);  // final cumulative == total observations
+  EXPECT_DOUBLE_EQ(p.value_of("msropm_test_sizes_count"), 4.0);
+  EXPECT_DOUBLE_EQ(p.value_of("msropm_test_sizes_sum"), 47.0);
+
+  // Every TYPE declaration names a metric family that appears in samples.
+  for (const auto& [metric, type] : p.types) {
+    bool found = false;
+    for (const auto& s : p.samples) {
+      if (s.name == metric || s.name.rfind(metric + "_", 0) == 0) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "TYPE for absent metric: " << metric;
+    EXPECT_TRUE(type == "counter" || type == "gauge" || type == "summary" ||
+                type == "histogram")
+        << type;
+  }
+}
+
 #endif  // MSROPM_OBS_DISABLED
