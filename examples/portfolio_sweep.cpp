@@ -5,7 +5,8 @@
 // Usage:
 //   portfolio_sweep [--kings S1,S2,...] [--colors K] [--kings-unsat S1,S2,...]
 //                   [--dimacs graph.col]... [--jobs N] [--timeout-ms T]
-//                   [--strategies dsatur,cdcl,cdcl-pre,cdcl-inc,tabucol,sa]
+//                   [--strategies dsatur,cdcl,cdcl-pre,cdcl-inc,tabucol,sa,
+//                    msropm[:N]]
 //                   [--seed S] [--schedule strategy|instance] [--csv]
 //
 //   --kings        side lengths of King's-graph instances colored with
@@ -17,7 +18,11 @@
 //   --timeout-ms   wall-clock cap per strategy attempt (default 0 = none;
 //                  breaks strict determinism, see src/portfolio/README.md)
 //   --strategies   comma list; a kind may repeat (each slot gets its own
-//                  seed stream)
+//                  seed stream). "msropm" runs the paper's machine as a
+//                  strategy (best-of-40 batched Monte-Carlo iterations;
+//                  "msropm:N" overrides the iteration budget), so the report
+//                  compares machine rows against the SAT-side strategies on
+//                  the same instances
 //   --schedule     queue order: "strategy" (cheap probes first, default) or
 //                  "instance" (all strategies of an instance race)
 //   --csv          emit the report as CSV instead of an aligned table
@@ -68,18 +73,35 @@ bool parse_size_list(const char* arg, std::vector<std::size_t>& out) {
   return true;
 }
 
+/// Parse one strategy token: a kind name, optionally with an "msropm:N"
+/// iteration budget (the machine's best-of-N count).
+bool parse_strategy_token(const std::string& token,
+                          portfolio::StrategyConfig& out) {
+  std::string name = token;
+  std::optional<long long> budget;
+  if (const auto colon = token.find(':'); colon != std::string::npos) {
+    name = token.substr(0, colon);
+    budget = util::parse_int(util::trim(token.substr(colon + 1)));
+    if (!budget || *budget < 1) return false;
+  }
+  const auto kind = portfolio::strategy_from_string(util::trim(name));
+  if (!kind) return false;
+  if (budget && *kind != portfolio::StrategyKind::kMsropm) return false;
+  out.kind = *kind;
+  if (budget) out.msropm_iterations = static_cast<std::size_t>(*budget);
+  return true;
+}
+
 bool parse_strategy_list(const char* arg,
                          std::vector<portfolio::StrategyConfig>& out) {
   const auto tokens = util::split(arg, ',', /*skip_empty=*/false);
   if (tokens.empty()) return false;
   for (const std::string& token : tokens) {
-    const auto kind = portfolio::strategy_from_string(util::trim(token));
-    if (!kind) {
+    portfolio::StrategyConfig config;
+    if (!parse_strategy_token(token, config)) {
       std::fprintf(stderr, "unknown strategy: '%s'\n", token.c_str());
       return false;
     }
-    portfolio::StrategyConfig config;
-    config.kind = *kind;
     out.push_back(config);
   }
   return true;
@@ -98,7 +120,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--kings S1,S2,...] [--colors K] "
                "[--kings-unsat S1,S2,...] [--dimacs graph.col]... [--jobs N] "
-               "[--timeout-ms T] [--strategies dsatur,cdcl,cdcl-pre,cdcl-inc,tabucol,sa] "
+               "[--timeout-ms T] [--strategies "
+               "dsatur,cdcl,cdcl-pre,cdcl-inc,tabucol,sa,msropm[:N]] "
                "[--seed S] [--schedule strategy|instance] [--csv] "
                "[--trace FILE] [--metrics] [--metrics-json FILE] "
                "[--metrics-prom FILE]\n",
@@ -296,6 +319,9 @@ int main(int argc, char** argv) {
   const portfolio::SweepResult result = runner.run(instances);
   const auto table = runner.report(instances, result);
   std::printf("%s", csv ? table.render_csv().c_str() : table.render().c_str());
+  const auto summary = runner.strategy_summary(result);
+  std::printf("%s",
+              csv ? summary.render_csv().c_str() : summary.render().c_str());
   std::printf(
       "sweep: %zu/%zu instances decided in %.2f ms (%zu workers, %zu "
       "strategies, seed %llu)\n",

@@ -9,12 +9,14 @@
 #   CHECK_ASAN=1 scripts/check.sh           # normal run, then additionally
 #                                           # build build-asan/ and run the
 #                                           # SAT arena/GC + preprocessor
-#                                           # tests under ASan/UBSan
+#                                           # tests plus the batched phase-
+#                                           # engine tests under ASan/UBSan
 #   CHECK_TSAN=1 scripts/check.sh           # normal run, then additionally
 #                                           # build build-tsan/ and run the
 #                                           # portfolio + stop-token + arena
-#                                           # cancellation tests under
-#                                           # ThreadSanitizer
+#                                           # cancellation tests and the
+#                                           # batched-runner equivalence
+#                                           # tests under ThreadSanitizer
 #   CHECK_OBS=1 scripts/check.sh            # normal run, then additionally
 #                                           # run an instrumented 4-worker
 #                                           # portfolio sweep with --trace
@@ -30,13 +32,18 @@
 #                                           # verdict identity at every
 #                                           # worker count, portfolio never
 #                                           # slower than the best single
-#                                           # strategy) and bench_chromatic
+#                                           # strategy), bench_chromatic
 #                                           # (hard gates: incremental ==
 #                                           # from-scratch chromatic numbers,
 #                                           # incremental sweep never slower
-#                                           # than from-scratch); all drop
+#                                           # than from-scratch) and
+#                                           # bench_phase_batch (hard gates:
+#                                           # batch-of-1 never slower than
+#                                           # the pre-refactor engine,
+#                                           # batch-of-40 >= 2x serial on at
+#                                           # least one fabric); all drop
 #                                           # bench_results/*.json
-#   CHECK_BENCH_DIFF=1 scripts/check.sh     # normal run, then run the three
+#   CHECK_BENCH_DIFF=1 scripts/check.sh     # normal run, then run the four
 #                                           # result-dropping benches and diff
 #                                           # the fresh bench_results/ against
 #                                           # the copy committed at HEAD with
@@ -69,12 +76,13 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 # exactly where a use-after-free would hide, so these run under ASan/UBSan on
 # demand (the sanitizer presets also enable the solver's internal
 # stale-reference checks via MSROPM_SAT_CHECK_INVARIANTS).
-ARENA_TESTS='sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test|sat_preprocess_test|sat_preprocess_equivalence_test|sat_incremental_test'
+ARENA_TESTS='sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test|sat_preprocess_test|sat_preprocess_equivalence_test|sat_incremental_test|phase_batch_test|core_batch_equivalence_test'
 if [ "${CHECK_ASAN:-0}" = "1" ] && [ "${SANITIZE}" = "OFF" ]; then
   cmake -B build-asan -S . -DMSROPM_SANITIZE=ON
   cmake --build build-asan -j "${JOBS}" --target \
     sat_arena_test sat_arena_equivalence_test sat_solver_growth_test \
-    sat_preprocess_test sat_preprocess_equivalence_test sat_incremental_test
+    sat_preprocess_test sat_preprocess_equivalence_test sat_incremental_test \
+    phase_batch_test core_batch_equivalence_test
   ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
     -R "^(${ARENA_TESTS})\$"
 fi
@@ -88,9 +96,9 @@ if [ "${CHECK_TSAN:-0}" = "1" ] && [ "${SANITIZE}" != "thread" ]; then
   cmake --build build-tsan -j "${JOBS}" --target \
     portfolio_test portfolio_cancel_test util_stop_token_test \
     sat_arena_test sat_arena_equivalence_test sat_solver_growth_test \
-    sat_incremental_test obs_test
+    sat_incremental_test obs_test core_batch_equivalence_test
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-    -R "^(portfolio_test|portfolio_cancel_test|util_stop_token_test|sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test|sat_incremental_test|obs_test)\$"
+    -R "^(portfolio_test|portfolio_cancel_test|util_stop_token_test|sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test|sat_incremental_test|obs_test|core_batch_equivalence_test)\$"
 fi
 
 # Observability end-to-end: an instrumented 4-worker sweep must emit a valid
@@ -126,14 +134,18 @@ fi
 # across worker counts or when the portfolio is slower than the best single
 # complete strategy; bench_chromatic exits nonzero when the incremental
 # chromatic sweep disagrees with the from-scratch baseline or is slower
-# than it beyond a 10% noise margin. All emit bench_results/*.json so the
-# numbers are tracked, not just the pass/fail bit.
+# than it beyond a 10% noise margin; bench_phase_batch exits nonzero when
+# the batched phase engine loses to the embedded pre-refactor engine at
+# batch size 1 or misses 2x serial throughput at batch size 40 on every
+# fabric. All emit bench_results/*.json so the numbers are tracked, not
+# just the pass/fail bit.
 if [ "${CHECK_BENCH:-0}" = "1" ] && [ "${SANITIZE}" = "OFF" ]; then
   cmake --build "${BUILD_DIR}" -j "${JOBS}" --target \
-    bench_sat_arena bench_portfolio bench_chromatic
+    bench_sat_arena bench_portfolio bench_chromatic bench_phase_batch
   "./${BUILD_DIR}/bench_sat_arena"
   "./${BUILD_DIR}/bench_portfolio"
   "./${BUILD_DIR}/bench_chromatic"
+  "./${BUILD_DIR}/bench_phase_batch"
 fi
 
 # Bench regression diff: rerun the result-dropping benches (refreshing the
@@ -143,9 +155,10 @@ fi
 # any benchmark row that silently disappeared.
 if [ "${CHECK_BENCH_DIFF:-0}" = "1" ] && [ "${SANITIZE}" = "OFF" ]; then
   cmake --build "${BUILD_DIR}" -j "${JOBS}" --target \
-    bench_sat_arena bench_portfolio bench_chromatic
+    bench_sat_arena bench_portfolio bench_chromatic bench_phase_batch
   "./${BUILD_DIR}/bench_sat_arena"
   "./${BUILD_DIR}/bench_portfolio"
   "./${BUILD_DIR}/bench_chromatic"
+  "./${BUILD_DIR}/bench_phase_batch"
   python3 scripts/bench_diff.py --git HEAD bench_results --threshold 0.10
 fi

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "msropm/core/schedule.hpp"
@@ -76,6 +77,11 @@ struct MsropmResult {
 using StageObserver =
     std::function<void(unsigned, const char*, const phase::PhaseNetwork&)>;
 
+/// Batched counterpart of StageObserver: the whole replica batch is handed
+/// out at every stage boundary (per-replica phases via batch.phases(r)).
+using BatchStageObserver =
+    std::function<void(unsigned, const char*, const phase::PhaseBatch&)>;
+
 class MultiStagePottsMachine {
  public:
   MultiStagePottsMachine(const graph::Graph& g, MsropmConfig config);
@@ -86,6 +92,17 @@ class MultiStagePottsMachine {
   /// One full multi-stage run with the given RNG (initial phases + jitter).
   [[nodiscard]] MsropmResult solve(util::Rng& rng,
                                    const StageObserver& observer = {}) const;
+
+  /// Drive rngs.size() independent Monte-Carlo replicas through the full
+  /// anneal/lock/readout/reinit stage schedule SIMULTANEOUSLY on one
+  /// phase::PhaseBatch: readouts and the P_EN/SHIL_SEL register updates are
+  /// applied per replica between the shared integration windows. Replica r
+  /// consumes rngs[r] in exactly the order a serial solve(rngs[r]) would, so
+  /// its trajectory, per-stage bits, and final coloring are bit-identical to
+  /// that serial run at any batch width (hard-gated by
+  /// tests/core_batch_equivalence_test.cpp). Returns one result per replica.
+  [[nodiscard]] std::vector<MsropmResult> solve_batch(
+      std::span<util::Rng> rngs, const BatchStageObserver& observer = {}) const;
 
  private:
   const graph::Graph* graph_;

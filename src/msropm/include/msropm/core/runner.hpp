@@ -4,8 +4,12 @@
 // being selected as the final solution"; all experiments use 40 iterations).
 //
 // Iterations are embarrassingly parallel: each gets an independent RNG
-// stream derived from the base seed and runs on a worker thread. Determinism
-// holds for a fixed (seed, iteration) pair regardless of thread count.
+// stream derived from the base seed. Workers claim contiguous index ranges of
+// up to `batch_size` iterations and drive each range through ONE
+// MultiStagePottsMachine::solve_batch call, so the fabric is integrated as a
+// replica batch instead of once per trajectory. Because solve_batch is
+// bit-identical to serial solves at any width, determinism holds for a fixed
+// (seed, iteration) pair regardless of thread count AND batch size.
 
 #include <cstddef>
 #include <vector>
@@ -13,6 +17,7 @@
 #include "msropm/core/machine.hpp"
 #include "msropm/graph/coloring.hpp"
 #include "msropm/graph/graph.hpp"
+#include "msropm/util/stop_token.hpp"
 
 namespace msropm::core {
 
@@ -29,6 +34,11 @@ struct RunSummary {
   double mean_accuracy = 0.0;
   double worst_accuracy = 0.0;
   std::size_t exact_solutions = 0;  ///< iterations with accuracy == 1.0
+  /// Iterations that actually ran (== options.iterations unless cancelled;
+  /// always a prefix of the iteration index space, so `iterations` holds
+  /// exactly the completed prefix).
+  std::size_t completed = 0;
+  bool cancelled = false;  ///< the stop token fired before all iterations ran
 
   [[nodiscard]] const graph::Coloring& best_coloring() const {
     return iterations.at(best_index).result.colors;
@@ -43,6 +53,13 @@ struct RunnerOptions {
   std::size_t iterations = 40;    ///< the paper's iteration count
   std::uint64_t seed = 1;
   std::size_t num_threads = 0;    ///< 0 = hardware concurrency
+  /// Replicas per solve_batch call (clamped to >= 1). Results are invariant
+  /// to this knob; it only trades scheduling granularity against the batch
+  /// engine's shared-traversal throughput.
+  std::size_t batch_size = 8;
+  /// Cooperative cancellation, polled between batches (a started batch runs
+  /// to completion). Default token is inert.
+  util::StopToken stop{};
 };
 
 /// Run the machine `options.iterations` times and summarize.

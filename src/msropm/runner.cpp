@@ -23,28 +23,48 @@ std::vector<double> RunSummary::stage1_cut_series() const {
 RunSummary run_iterations(const MultiStagePottsMachine& machine,
                           const RunnerOptions& options) {
   const std::size_t iters = options.iterations;
+  const std::size_t batch = std::max<std::size_t>(1, options.batch_size);
   RunSummary summary;
   summary.iterations.resize(iters);
 
   std::size_t workers = options.num_threads != 0
                             ? options.num_threads
                             : std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min(workers, std::max<std::size_t>(1, iters));
+  workers = std::min(workers, std::max<std::size_t>(1, (iters + batch - 1) / batch));
 
+  // Workers claim contiguous [i, i+batch) windows; every claimed window runs
+  // to completion even if the stop token fires mid-batch, so the completed
+  // iterations always form the prefix [0, next) of the index space.
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
   auto work = [&]() {
+    std::vector<util::Rng> rngs;
     for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= iters) return;
-      // Independent, deterministic stream per iteration.
-      util::Rng rng(options.seed * 0x9e3779b97f4a7c15ull + i * 0xbf58476d1ce4e5b9ull + 1);
-      IterationOutcome out;
-      out.result = machine.solve(rng);
-      out.coloring_accuracy =
-          graph::coloring_accuracy(machine.graph(), out.result.colors);
-      out.stage1_cut =
-          out.result.stages.empty() ? 0 : out.result.stages.front().cut_edges;
-      summary.iterations[i] = std::move(out);
+      if (options.stop.stop_requested()) {
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const std::size_t begin = next.fetch_add(batch);
+      if (begin >= iters) return;
+      const std::size_t count = std::min(batch, iters - begin);
+      // Independent, deterministic stream per iteration: the same derivation
+      // a serial run uses, so results are invariant to batch/thread counts.
+      rngs.clear();
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t i = begin + k;
+        rngs.emplace_back(options.seed * 0x9e3779b97f4a7c15ull +
+                          i * 0xbf58476d1ce4e5b9ull + 1);
+      }
+      std::vector<MsropmResult> results = machine.solve_batch(rngs);
+      for (std::size_t k = 0; k < count; ++k) {
+        IterationOutcome out;
+        out.result = std::move(results[k]);
+        out.coloring_accuracy =
+            graph::coloring_accuracy(machine.graph(), out.result.colors);
+        out.stage1_cut =
+            out.result.stages.empty() ? 0 : out.result.stages.front().cut_edges;
+        summary.iterations[begin + k] = std::move(out);
+      }
     }
   };
 
@@ -57,10 +77,16 @@ RunSummary run_iterations(const MultiStagePottsMachine& machine,
     for (auto& t : pool) t.join();
   }
 
+  summary.completed = std::min(next.load(std::memory_order_relaxed), iters);
+  summary.cancelled =
+      cancelled.load(std::memory_order_relaxed) && summary.completed < iters;
+  summary.iterations.resize(summary.completed);
+
+  const std::size_t done = summary.completed;
   summary.best_accuracy = 0.0;
   summary.worst_accuracy = 1.0;
   double total = 0.0;
-  for (std::size_t i = 0; i < iters; ++i) {
+  for (std::size_t i = 0; i < done; ++i) {
     const double acc = summary.iterations[i].coloring_accuracy;
     total += acc;
     if (acc > summary.best_accuracy) {
@@ -70,8 +96,8 @@ RunSummary run_iterations(const MultiStagePottsMachine& machine,
     summary.worst_accuracy = std::min(summary.worst_accuracy, acc);
     if (acc >= 1.0) ++summary.exact_solutions;
   }
-  summary.mean_accuracy = iters ? total / static_cast<double>(iters) : 0.0;
-  if (iters == 0) summary.worst_accuracy = 0.0;
+  summary.mean_accuracy = done ? total / static_cast<double>(done) : 0.0;
+  if (done == 0) summary.worst_accuracy = 0.0;
   return summary;
 }
 

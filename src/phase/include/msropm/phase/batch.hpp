@@ -1,0 +1,226 @@
+#pragma once
+// Batched structure-of-arrays phase-integration core.
+//
+// The paper's headline experiments are best-of-40 Monte-Carlo sweeps over the
+// SAME graph: every iteration re-integrates the identical coupling network
+// with nothing but a different RNG stream. PhaseBatch owns R replicas x N
+// oscillators in flat contiguous arrays (`theta[r*N + i]`) and steps ALL
+// replicas per call, so the graph is traversed once per batch instead of once
+// per trajectory:
+//
+//   * The graph is converted ONCE into a CSR neighbor structure (per-node
+//     adjacency with the edge id of each entry). The derivative is a gather /
+//     accumulate per node -- no edge-list scatter, no per-edge mask branch:
+//
+//       sum_j J_ij m_ij sin(theta_i - theta_j)
+//         = sin_i * sum_j w_ij cos_j  -  cos_i * sum_j w_ij sin_j
+//
+//     with fused per-replica weights w_ij = Kc * J_ij * m_ij rebuilt lazily
+//     when a replica's couplings or mask change (once per MSROPM stage).
+//   * One sincos pass per replica-step fills the per-node sin/cos buffers;
+//     the order-2 SHIL term reuses them through the double-angle identity
+//     (other orders fall back to std::sin).
+//   * Per-replica edge masks, SHIL enables/phases, levels, and detune live as
+//     SoA slices because replicas diverge after each stage readout.
+//
+// Determinism contract: replica r of a batch only ever reads replica-r state
+// and rngs[r], with the identical per-replica instruction sequence at every
+// batch width -- so a batch-of-R run is bit-identical to R batch-of-1 runs
+// (hard-gated by tests/core_batch_equivalence_test.cpp). PhaseNetwork
+// (network.hpp) is a thin facade over a PhaseBatch of one replica, so "serial"
+// and "batched" share this single implementation.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "msropm/graph/graph.hpp"
+#include "msropm/util/rng.hpp"
+
+namespace msropm::phase {
+
+/// Integration scheme used by run(). Euler-Maruyama is the paper's default;
+/// RK4 integrates the drift with a 4th-order step (noise, when enabled, is
+/// still added Euler-Maruyama style after the deterministic substep).
+enum class Integrator : std::uint8_t { kEulerMaruyama, kRk4 };
+
+/// Static parameters of a phase-domain simulation.
+struct NetworkParams {
+  double natural_frequency_hz = 1.3e9;  ///< paper Sec. 3.3 (reporting only)
+  double coupling_gain = 8.0e8;         ///< Kc [rad/s]
+  double shil_gain = 1.2e9;             ///< Ks at full strength [rad/s]
+  unsigned shil_order = 2;              ///< 2 for MSROPM
+  double noise_stddev = 1.5e3;          ///< sigma [rad/sqrt(s)]
+  /// Process-variation model: per-oscillator free-running frequency offsets
+  /// are drawn i.i.d. normal with this stddev [Hz] at machine init (0 =
+  /// matched oscillators, the paper's nominal simulation).
+  double frequency_mismatch_stddev_hz = 0.0;
+  double dt = 1.0e-11;                  ///< integration step [s]
+  Integrator integrator = Integrator::kEulerMaruyama;
+};
+
+/// Piecewise-linear gain envelope for SHIL ramp-in during a window.
+struct GainRamp {
+  double start_fraction = 0.0;  ///< ramp start within the window [0,1]
+  double end_fraction = 0.3;    ///< full strength from here on
+  [[nodiscard]] double value(double t_fraction) const noexcept;
+};
+
+class PhaseBatch {
+ public:
+  PhaseBatch(const graph::Graph& g, NetworkParams params,
+             std::size_t num_replicas);
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const NetworkParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_replicas() const noexcept { return r_; }
+
+  // --- state (replica r) -------------------------------------------------
+  [[nodiscard]] std::span<const double> phases(std::size_t r) const {
+    return {theta_.data() + r * n_, n_};
+  }
+  void set_phases(std::size_t r, std::span<const double> phases);
+  /// Random uniform phases in [0, 2pi): the paper's random initialization.
+  void randomize_phases(std::size_t r, util::Rng& rng);
+  /// Random normal perturbation of current phases (strength in rad).
+  void perturb_phases(std::size_t r, util::Rng& rng, double stddev_rad);
+  /// Phases of replica r wrapped into [0, 2pi).
+  [[nodiscard]] std::vector<double> wrapped_phases(std::size_t r) const;
+
+  // --- couplings (B2B / P_EN / L_EN) -------------------------------------
+  void set_uniform_coupling(std::size_t r, double j);
+  void set_edge_couplings(std::size_t r, std::span<const double> per_edge_j);
+  void set_edge_mask(std::size_t r, std::span<const std::uint8_t> mask);
+  void enable_all_edges(std::size_t r);
+  void disable_all_edges(std::size_t r);
+  [[nodiscard]] std::span<const std::uint8_t> edge_mask(std::size_t r) const {
+    return {edge_mask_.data() + r * m_, m_};
+  }
+  /// Global coupling enable (G_EN for B2B blocks).
+  void set_couplings_active(std::size_t r, bool active) noexcept {
+    couplings_active_[r] = active ? 1 : 0;
+  }
+  [[nodiscard]] bool couplings_active(std::size_t r) const noexcept {
+    return couplings_active_[r] != 0;
+  }
+
+  // --- SHIL (SHIL_EN / SHIL_SEL) ------------------------------------------
+  void set_shil_active(std::size_t r, bool active) noexcept {
+    shil_active_[r] = active ? 1 : 0;
+  }
+  [[nodiscard]] bool shil_active(std::size_t r) const noexcept {
+    return shil_active_[r] != 0;
+  }
+  void set_shil_enable(std::size_t r, std::span<const std::uint8_t> per_osc);
+  void enable_all_shil(std::size_t r);
+  void set_shil_phases(std::size_t r, std::span<const double> psi);
+  void set_uniform_shil_phase(std::size_t r, double psi);
+  [[nodiscard]] std::span<const double> shil_phases(std::size_t r) const {
+    return {shil_phase_.data() + r * n_, n_};
+  }
+  /// Instantaneous SHIL gain multiplier in [0,1] (ramp support).
+  void set_shil_level(std::size_t r, double level) noexcept;
+  [[nodiscard]] double shil_level(std::size_t r) const noexcept {
+    return shil_level_[r];
+  }
+
+  // --- detune (oscillator mismatch) ---------------------------------------
+  void set_detune(std::size_t r, std::span<const double> detune_rad_per_s);
+  void clear_detune(std::size_t r);
+
+  // --- dynamics ------------------------------------------------------------
+  /// d(theta)/dt of replica r evaluated at `theta` under replica-r masks and
+  /// gains. `theta` and `dtheta` must have size() elements.
+  void derivative(std::size_t r, std::span<const double> theta,
+                  std::span<double> dtheta) const;
+
+  /// One Euler-Maruyama step of params.dt for every replica; rngs[r] supplies
+  /// replica r's jitter (rngs.size() must equal num_replicas()).
+  void step(std::span<util::Rng> rngs);
+  /// One deterministic RK4 step of params.dt for every replica (noise off).
+  void step_rk4();
+
+  /// Integrate every replica for a duration [s] with params.integrator. An
+  /// optional ramp shapes the SHIL level across the window (scaling each
+  /// replica's level set on entry); an optional observer is invoked after
+  /// each step with the elapsed window time.
+  void run(double duration, std::span<util::Rng> rngs,
+           const GainRamp* shil_ramp = nullptr,
+           const std::function<void(double, const PhaseBatch&)>& observer = {});
+
+  /// Replica r's energy E(theta) under its active mask (excludes SHIL term).
+  [[nodiscard]] double coupling_energy(std::size_t r) const;
+  /// Replica r's SHIL pinning energy term.
+  [[nodiscard]] double shil_energy(std::size_t r) const;
+
+  // --- flat SoA views (all replicas concatenated) --------------------------
+  // For a batch of one these are exactly the per-network vectors, which is
+  // how the PhaseNetwork facade exposes const-reference accessors without
+  // copying.
+  [[nodiscard]] const std::vector<double>& theta_flat() const noexcept {
+    return theta_;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& edge_mask_flat() const noexcept {
+    return edge_mask_;
+  }
+  [[nodiscard]] const std::vector<double>& shil_phase_flat() const noexcept {
+    return shil_phase_;
+  }
+
+ private:
+  void check_replica(std::size_t r) const;
+  void rebuild_weights(std::size_t r) const;
+  void refresh_trig(const double* theta) const;
+  void refresh_shil_trig(std::size_t r);
+  /// The per-replica derivative kernel; theta/dtheta point at n_ doubles.
+  void derivative_into(std::size_t r, const double* theta, double* dtheta) const;
+  void euler_step_replica(std::size_t r, util::Rng& rng, double noise_scale);
+  void rk4_step_replica(std::size_t r);
+
+  const graph::Graph* graph_;
+  NetworkParams params_;
+  std::size_t n_ = 0;  ///< oscillators per replica
+  std::size_t m_ = 0;  ///< edges
+  std::size_t r_ = 0;  ///< replicas
+
+  // CSR neighbor structure: structural, shared by all replicas. Entry k in
+  // [csr_offsets_[i], csr_offsets_[i+1]) is neighbor csr_neighbor_[k] via
+  // edge csr_edge_[k].
+  std::vector<std::uint32_t> csr_offsets_;   // n+1
+  std::vector<std::uint32_t> csr_neighbor_;  // 2m
+  std::vector<std::uint32_t> csr_edge_;      // 2m
+
+  // Per-replica SoA state. Slice r of an N-array is [r*n_, (r+1)*n_), of an
+  // M-array [r*m_, (r+1)*m_).
+  std::vector<double> theta_;              // R*N
+  std::vector<double> j_;                  // R*M
+  std::vector<std::uint8_t> edge_mask_;    // R*M
+  std::vector<std::uint8_t> shil_enable_;  // R*N
+  std::vector<double> shil_phase_;         // R*N
+  std::vector<double> shil_sin_;           // R*N: sin(order * psi)
+  std::vector<double> shil_cos_;           // R*N: cos(order * psi)
+  std::vector<double> detune_;             // R*N
+  std::vector<std::uint8_t> couplings_active_;  // R
+  std::vector<std::uint8_t> shil_active_;       // R
+  std::vector<double> shil_level_;              // R
+
+  // Fused CSR weights w[r*2M + k] = Kc * J * mask, rebuilt lazily (mutable:
+  // derivative() is logically const and rebuilds on first use).
+  mutable std::vector<double> weights_;
+  mutable std::vector<std::uint8_t> weights_dirty_;  // R
+
+  // Per-node scratch (mutable: derivative() is logically const). Fully
+  // rewritten before each per-replica use, so no state leaks across replicas.
+  mutable std::vector<double> sin_, cos_;
+  mutable std::vector<double> k1_, k2_, k3_, k4_, tmp_;
+};
+
+/// Wrap an angle into [0, 2pi).
+[[nodiscard]] double wrap_angle(double theta) noexcept;
+
+/// Smallest absolute angular distance between two angles (in [0, pi]).
+[[nodiscard]] double angular_distance(double a, double b) noexcept;
+
+}  // namespace msropm::phase

@@ -28,50 +28,35 @@
 //       - (Ks/order) sum_i e_i cos(order (theta_i - psi_i))
 // scaled by Kc, so trajectories descend the (vector Potts) energy landscape.
 //
+// PhaseNetwork is a thin facade over a PhaseBatch of ONE replica (batch.hpp
+// owns the SoA/CSR integration core and the NetworkParams/GainRamp types);
+// the single-trajectory API below is unchanged from the pre-batch engine.
 // Integrators: Euler-Maruyama (stochastic, default) and RK4 (deterministic,
 // for convergence tests). The derivative uses per-node sincos precomputation
-// so a step costs O(n + m).
+// and a CSR gather, so a step costs O(n + m) with no edge-list scatter.
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "msropm/graph/graph.hpp"
+#include "msropm/phase/batch.hpp"
 #include "msropm/util/rng.hpp"
 
 namespace msropm::phase {
-
-/// Static parameters of a phase-domain simulation.
-struct NetworkParams {
-  double natural_frequency_hz = 1.3e9;  ///< paper Sec. 3.3 (reporting only)
-  double coupling_gain = 8.0e8;         ///< Kc [rad/s]
-  double shil_gain = 1.2e9;             ///< Ks at full strength [rad/s]
-  unsigned shil_order = 2;              ///< 2 for MSROPM
-  double noise_stddev = 1.5e3;          ///< sigma [rad/sqrt(s)]
-  /// Process-variation model: per-oscillator free-running frequency offsets
-  /// are drawn i.i.d. normal with this stddev [Hz] at machine init (0 =
-  /// matched oscillators, the paper's nominal simulation).
-  double frequency_mismatch_stddev_hz = 0.0;
-  double dt = 1.0e-11;                  ///< integration step [s]
-};
-
-/// Piecewise-linear gain envelope for SHIL ramp-in during a window.
-struct GainRamp {
-  double start_fraction = 0.0;  ///< ramp start within the window [0,1]
-  double end_fraction = 0.3;    ///< full strength from here on
-  [[nodiscard]] double value(double t_fraction) const noexcept;
-};
 
 class PhaseNetwork {
  public:
   PhaseNetwork(const graph::Graph& g, NetworkParams params);
 
-  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
-  [[nodiscard]] const NetworkParams& params() const noexcept { return params_; }
-  [[nodiscard]] std::size_t size() const noexcept { return theta_.size(); }
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return batch_.graph(); }
+  [[nodiscard]] const NetworkParams& params() const noexcept { return batch_.params(); }
+  [[nodiscard]] std::size_t size() const noexcept { return batch_.size(); }
 
   // --- state -----------------------------------------------------------
-  [[nodiscard]] const std::vector<double>& phases() const noexcept { return theta_; }
+  [[nodiscard]] const std::vector<double>& phases() const noexcept {
+    return batch_.theta_flat();  // batch of one: the phase vector itself
+  }
   void set_phases(std::vector<double> phases);
   /// Random uniform phases in [0, 2pi): the paper's random initialization
   /// (ROSCs started at random instants and left to drift apart, Sec. 4).
@@ -87,25 +72,29 @@ class PhaseNetwork {
   void enable_all_edges();
   void disable_all_edges();
   [[nodiscard]] const std::vector<std::uint8_t>& edge_mask() const noexcept {
-    return edge_mask_;
+    return batch_.edge_mask_flat();
   }
   /// Global coupling enable (G_EN for B2B blocks).
-  void set_couplings_active(bool active) noexcept { couplings_active_ = active; }
-  [[nodiscard]] bool couplings_active() const noexcept { return couplings_active_; }
+  void set_couplings_active(bool active) noexcept {
+    batch_.set_couplings_active(0, active);
+  }
+  [[nodiscard]] bool couplings_active() const noexcept {
+    return batch_.couplings_active(0);
+  }
 
   // --- SHIL (SHIL_EN / SHIL_SEL) ----------------------------------------
-  void set_shil_active(bool active) noexcept { shil_active_ = active; }
-  [[nodiscard]] bool shil_active() const noexcept { return shil_active_; }
+  void set_shil_active(bool active) noexcept { batch_.set_shil_active(0, active); }
+  [[nodiscard]] bool shil_active() const noexcept { return batch_.shil_active(0); }
   void set_shil_enable(std::vector<std::uint8_t> per_osc_enable);
   void enable_all_shil();
   void set_shil_phases(std::vector<double> psi);
   void set_uniform_shil_phase(double psi);
   [[nodiscard]] const std::vector<double>& shil_phases() const noexcept {
-    return shil_phase_;
+    return batch_.shil_phase_flat();
   }
   /// Instantaneous SHIL gain multiplier in [0,1] (ramp support).
-  void set_shil_level(double level) noexcept;
-  [[nodiscard]] double shil_level() const noexcept { return shil_level_; }
+  void set_shil_level(double level) noexcept { batch_.set_shil_level(0, level); }
+  [[nodiscard]] double shil_level() const noexcept { return batch_.shil_level(0); }
 
   // --- detune (oscillator mismatch) --------------------------------------
   void set_detune(std::vector<double> detune_rad_per_s);
@@ -121,44 +110,27 @@ class PhaseNetwork {
   /// One deterministic RK4 step of params.dt (noise off).
   void step_rk4();
 
-  /// Integrate for a duration [s] with Euler-Maruyama. An optional ramp
+  /// Integrate for a duration [s] with params.integrator. An optional ramp
   /// shapes the SHIL level across the window; an optional observer is
   /// invoked after each step with the elapsed window time.
   void run(double duration, util::Rng& rng, const GainRamp* shil_ramp = nullptr,
            const std::function<void(double, const PhaseNetwork&)>& observer = {});
 
   /// Current energy E(theta) under active masks (excludes SHIL term).
-  [[nodiscard]] double coupling_energy() const;
+  [[nodiscard]] double coupling_energy() const { return batch_.coupling_energy(0); }
   /// SHIL pinning energy term.
-  [[nodiscard]] double shil_energy() const;
+  [[nodiscard]] double shil_energy() const { return batch_.shil_energy(0); }
 
   /// Phases wrapped into [0, 2pi).
-  [[nodiscard]] std::vector<double> wrapped_phases() const;
+  [[nodiscard]] std::vector<double> wrapped_phases() const {
+    return batch_.wrapped_phases(0);
+  }
+
+  /// The underlying batch-of-one engine (read access for diagnostics).
+  [[nodiscard]] const PhaseBatch& batch() const noexcept { return batch_; }
 
  private:
-  void refresh_trig(const std::vector<double>& theta) const;
-
-  const graph::Graph* graph_;
-  NetworkParams params_;
-  std::vector<double> theta_;
-  std::vector<double> j_;
-  std::vector<std::uint8_t> edge_mask_;
-  std::vector<std::uint8_t> shil_enable_;
-  std::vector<double> shil_phase_;
-  std::vector<double> detune_;
-  bool couplings_active_ = true;
-  bool shil_active_ = false;
-  double shil_level_ = 1.0;
-  // scratch buffers (mutable: derivative() is logically const)
-  mutable std::vector<double> sin_;
-  mutable std::vector<double> cos_;
-  mutable std::vector<double> k1_, k2_, k3_, k4_, tmp_;
+  PhaseBatch batch_;
 };
-
-/// Wrap an angle into [0, 2pi).
-[[nodiscard]] double wrap_angle(double theta) noexcept;
-
-/// Smallest absolute angular distance between two angles (in [0, pi]).
-[[nodiscard]] double angular_distance(double a, double b) noexcept;
 
 }  // namespace msropm::phase

@@ -1,240 +1,76 @@
 #include "msropm/phase/network.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <numbers>
-#include <stdexcept>
-
 namespace msropm::phase {
 
-namespace {
-constexpr double kTwoPi = 2.0 * std::numbers::pi;
-}
-
-double wrap_angle(double theta) noexcept {
-  double w = std::fmod(theta, kTwoPi);
-  if (w < 0.0) w += kTwoPi;
-  return w;
-}
-
-double angular_distance(double a, double b) noexcept {
-  double d = std::fabs(wrap_angle(a) - wrap_angle(b));
-  return d > std::numbers::pi ? kTwoPi - d : d;
-}
-
-double GainRamp::value(double t_fraction) const noexcept {
-  if (t_fraction <= start_fraction) return 0.0;
-  if (t_fraction >= end_fraction) return 1.0;
-  if (end_fraction <= start_fraction) return 1.0;
-  return (t_fraction - start_fraction) / (end_fraction - start_fraction);
-}
-
 PhaseNetwork::PhaseNetwork(const graph::Graph& g, NetworkParams params)
-    : graph_(&g),
-      params_(params),
-      theta_(g.num_nodes(), 0.0),
-      j_(g.num_edges(), -1.0),  // B2B inverters: anti-ferromagnetic
-      edge_mask_(g.num_edges(), 1),
-      shil_enable_(g.num_nodes(), 1),
-      shil_phase_(g.num_nodes(), 0.0),
-      detune_(g.num_nodes(), 0.0),
-      sin_(g.num_nodes(), 0.0),
-      cos_(g.num_nodes(), 0.0) {
-  if (params_.dt <= 0.0) throw std::invalid_argument("PhaseNetwork: dt > 0");
-  if (params_.shil_order < 1) throw std::invalid_argument("PhaseNetwork: order >= 1");
-}
+    : batch_(g, params, /*num_replicas=*/1) {}
 
 void PhaseNetwork::set_phases(std::vector<double> phases) {
-  if (phases.size() != theta_.size()) {
-    throw std::invalid_argument("PhaseNetwork::set_phases: size mismatch");
-  }
-  theta_ = std::move(phases);
+  batch_.set_phases(0, phases);
 }
 
 void PhaseNetwork::randomize_phases(util::Rng& rng) {
-  for (double& t : theta_) t = rng.uniform_phase();
+  batch_.randomize_phases(0, rng);
 }
 
 void PhaseNetwork::perturb_phases(util::Rng& rng, double stddev_rad) {
-  for (double& t : theta_) t += rng.normal(0.0, stddev_rad);
+  batch_.perturb_phases(0, rng, stddev_rad);
 }
 
 void PhaseNetwork::set_uniform_coupling(double j) {
-  std::fill(j_.begin(), j_.end(), j);
+  batch_.set_uniform_coupling(0, j);
 }
 
 void PhaseNetwork::set_edge_couplings(std::vector<double> per_edge_j) {
-  if (per_edge_j.size() != j_.size()) {
-    throw std::invalid_argument("PhaseNetwork::set_edge_couplings: size mismatch");
-  }
-  j_ = std::move(per_edge_j);
+  batch_.set_edge_couplings(0, per_edge_j);
 }
 
 void PhaseNetwork::set_edge_mask(std::vector<std::uint8_t> mask) {
-  if (mask.size() != edge_mask_.size()) {
-    throw std::invalid_argument("PhaseNetwork::set_edge_mask: size mismatch");
-  }
-  edge_mask_ = std::move(mask);
+  batch_.set_edge_mask(0, mask);
 }
 
-void PhaseNetwork::enable_all_edges() {
-  std::fill(edge_mask_.begin(), edge_mask_.end(), std::uint8_t{1});
-}
+void PhaseNetwork::enable_all_edges() { batch_.enable_all_edges(0); }
 
-void PhaseNetwork::disable_all_edges() {
-  std::fill(edge_mask_.begin(), edge_mask_.end(), std::uint8_t{0});
-}
+void PhaseNetwork::disable_all_edges() { batch_.disable_all_edges(0); }
 
 void PhaseNetwork::set_shil_enable(std::vector<std::uint8_t> per_osc_enable) {
-  if (per_osc_enable.size() != shil_enable_.size()) {
-    throw std::invalid_argument("PhaseNetwork::set_shil_enable: size mismatch");
-  }
-  shil_enable_ = std::move(per_osc_enable);
+  batch_.set_shil_enable(0, per_osc_enable);
 }
 
-void PhaseNetwork::enable_all_shil() {
-  std::fill(shil_enable_.begin(), shil_enable_.end(), std::uint8_t{1});
-}
+void PhaseNetwork::enable_all_shil() { batch_.enable_all_shil(0); }
 
 void PhaseNetwork::set_shil_phases(std::vector<double> psi) {
-  if (psi.size() != shil_phase_.size()) {
-    throw std::invalid_argument("PhaseNetwork::set_shil_phases: size mismatch");
-  }
-  shil_phase_ = std::move(psi);
+  batch_.set_shil_phases(0, psi);
 }
 
 void PhaseNetwork::set_uniform_shil_phase(double psi) {
-  std::fill(shil_phase_.begin(), shil_phase_.end(), psi);
-}
-
-void PhaseNetwork::set_shil_level(double level) noexcept {
-  shil_level_ = std::clamp(level, 0.0, 1.0);
+  batch_.set_uniform_shil_phase(0, psi);
 }
 
 void PhaseNetwork::set_detune(std::vector<double> detune_rad_per_s) {
-  if (detune_rad_per_s.size() != detune_.size()) {
-    throw std::invalid_argument("PhaseNetwork::set_detune: size mismatch");
-  }
-  detune_ = std::move(detune_rad_per_s);
+  batch_.set_detune(0, detune_rad_per_s);
 }
 
-void PhaseNetwork::clear_detune() {
-  std::fill(detune_.begin(), detune_.end(), 0.0);
-}
-
-void PhaseNetwork::refresh_trig(const std::vector<double>& theta) const {
-  const std::size_t n = theta.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    sin_[i] = std::sin(theta[i]);
-    cos_[i] = std::cos(theta[i]);
-  }
-}
+void PhaseNetwork::clear_detune() { batch_.clear_detune(0); }
 
 void PhaseNetwork::derivative(const std::vector<double>& theta,
                               std::vector<double>& dtheta) const {
-  const std::size_t n = theta.size();
-  dtheta.assign(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) dtheta[i] = detune_[i];
-
-  if (couplings_active_) {
-    refresh_trig(theta);
-    const auto edges = graph_->edges();
-    const double kc = params_.coupling_gain;
-    for (std::size_t e = 0; e < edges.size(); ++e) {
-      if (!edge_mask_[e]) continue;
-      const auto u = edges[e].u;
-      const auto v = edges[e].v;
-      // sin(theta_u - theta_v) via precomputed per-node sin/cos.
-      const double s = sin_[u] * cos_[v] - cos_[u] * sin_[v];
-      const double w = kc * j_[e] * s;
-      // dtheta_u += -Kc*J*sin(u - v); dtheta_v += -Kc*J*sin(v - u) = +...
-      dtheta[u] -= w;
-      dtheta[v] += w;
-    }
-  }
-
-  if (shil_active_ && shil_level_ > 0.0) {
-    const double ks = params_.shil_gain * shil_level_;
-    const double order = static_cast<double>(params_.shil_order);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!shil_enable_[i]) continue;
-      dtheta[i] -= ks * std::sin(order * (theta[i] - shil_phase_[i]));
-    }
-  }
+  dtheta.resize(batch_.size());
+  batch_.derivative(0, theta, dtheta);
 }
 
-void PhaseNetwork::step(util::Rng& rng) {
-  const double dt = params_.dt;
-  derivative(theta_, k1_);
-  const double noise_scale = params_.noise_stddev * std::sqrt(dt);
-  for (std::size_t i = 0; i < theta_.size(); ++i) {
-    theta_[i] += k1_[i] * dt;
-    if (noise_scale > 0.0) theta_[i] += noise_scale * rng.normal();
-  }
-}
+void PhaseNetwork::step(util::Rng& rng) { batch_.step({&rng, 1}); }
 
-void PhaseNetwork::step_rk4() {
-  const double dt = params_.dt;
-  const std::size_t n = theta_.size();
-  derivative(theta_, k1_);
-  tmp_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) tmp_[i] = theta_[i] + 0.5 * dt * k1_[i];
-  derivative(tmp_, k2_);
-  for (std::size_t i = 0; i < n; ++i) tmp_[i] = theta_[i] + 0.5 * dt * k2_[i];
-  derivative(tmp_, k3_);
-  for (std::size_t i = 0; i < n; ++i) tmp_[i] = theta_[i] + dt * k3_[i];
-  derivative(tmp_, k4_);
-  for (std::size_t i = 0; i < n; ++i) {
-    theta_[i] += dt / 6.0 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
-  }
-}
+void PhaseNetwork::step_rk4() { batch_.step_rk4(); }
 
 void PhaseNetwork::run(double duration, util::Rng& rng, const GainRamp* shil_ramp,
                        const std::function<void(double, const PhaseNetwork&)>& observer) {
-  if (duration <= 0.0) return;
-  const double dt = params_.dt;
-  // ceil with a relative guard so that duration = k*dt yields exactly k steps
-  // despite the quotient landing epsilon above the integer.
-  auto steps = static_cast<std::size_t>(std::ceil(duration / dt - 1e-9));
-  if (steps == 0) steps = 1;
-  const double saved_level = shil_level_;
-  for (std::size_t s = 0; s < steps; ++s) {
-    if (shil_ramp != nullptr) {
-      const double frac = static_cast<double>(s) / static_cast<double>(steps);
-      set_shil_level(saved_level * shil_ramp->value(frac));
-    }
-    step(rng);
-    if (observer) observer(static_cast<double>(s + 1) * dt, *this);
+  if (!observer) {
+    batch_.run(duration, {&rng, 1}, shil_ramp);
+    return;
   }
-  shil_level_ = saved_level;
-}
-
-double PhaseNetwork::coupling_energy() const {
-  double e = 0.0;
-  const auto edges = graph_->edges();
-  for (std::size_t k = 0; k < edges.size(); ++k) {
-    if (!edge_mask_[k]) continue;
-    e -= j_[k] * std::cos(theta_[edges[k].u] - theta_[edges[k].v]);
-  }
-  return e;
-}
-
-double PhaseNetwork::shil_energy() const {
-  if (!shil_active_) return 0.0;
-  const double ks = params_.shil_gain * shil_level_;
-  const double order = static_cast<double>(params_.shil_order);
-  double e = 0.0;
-  for (std::size_t i = 0; i < theta_.size(); ++i) {
-    if (!shil_enable_[i]) continue;
-    e -= ks / order * std::cos(order * (theta_[i] - shil_phase_[i]));
-  }
-  return e;
-}
-
-std::vector<double> PhaseNetwork::wrapped_phases() const {
-  std::vector<double> w(theta_.size());
-  for (std::size_t i = 0; i < theta_.size(); ++i) w[i] = wrap_angle(theta_[i]);
-  return w;
+  batch_.run(duration, {&rng, 1}, shil_ramp,
+             [this, &observer](double t, const PhaseBatch&) { observer(t, *this); });
 }
 
 }  // namespace msropm::phase

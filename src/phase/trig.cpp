@@ -1,0 +1,67 @@
+#include "trig.hpp"
+
+#include <cmath>
+
+// libmvec's vector sin/cos quadruple the trig throughput of the batched
+// step kernel, which is dominated by the per-node sin/cos refresh on
+// ablation-sized fabrics. The AVX2 body is gated behind a target attribute
+// plus a runtime CPU check so the library still runs on baseline x86-64;
+// MSROPM_HAVE_LIBMVEC is only defined when CMake actually found the library
+// to link against (it ships with glibc -- no new dependency).
+#if defined(MSROPM_HAVE_LIBMVEC) && defined(__x86_64__) && \
+    defined(__GLIBC__) && defined(__GNUC__)
+#define MSROPM_TRIG_MVEC 1
+#include <immintrin.h>
+
+extern "C" {
+// x86-64 vector-math ABI names for the AVX2 (ymm, 4-lane double) variants.
+__m256d _ZGVdN4v_sin(__m256d);
+__m256d _ZGVdN4v_cos(__m256d);
+}
+#endif
+
+namespace msropm::phase::detail {
+
+namespace {
+
+void sincos_scalar(const double* x, double* s, double* c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+#if defined(__GLIBC__)
+    // One fused argument reduction for both outputs.
+    ::sincos(x[i], &s[i], &c[i]);
+#else
+    s[i] = std::sin(x[i]);
+    c[i] = std::cos(x[i]);
+#endif
+  }
+}
+
+#if defined(MSROPM_TRIG_MVEC)
+__attribute__((target("avx2"))) void sincos_avx2(const double* x, double* s,
+                                                 double* c, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x4 = _mm256_loadu_pd(x + i);
+    _mm256_storeu_pd(s + i, _ZGVdN4v_sin(x4));
+    _mm256_storeu_pd(c + i, _ZGVdN4v_cos(x4));
+  }
+  // Tail lanes take the scalar kernel; the split is a pure function of the
+  // index, so it is identical for every replica and batch width.
+  sincos_scalar(x + i, s + i, c + i, n - i);
+}
+#endif
+
+}  // namespace
+
+void sincos_array(const double* x, double* s, double* c, std::size_t n) {
+#if defined(MSROPM_TRIG_MVEC)
+  static const bool use_avx2 = __builtin_cpu_supports("avx2");
+  if (use_avx2) {
+    sincos_avx2(x, s, c, n);
+    return;
+  }
+#endif
+  sincos_scalar(x, s, c, n);
+}
+
+}  // namespace msropm::phase::detail

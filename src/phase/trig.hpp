@@ -1,0 +1,21 @@
+// Internal (non-installed) helper for the phase module: bulk sin/cos over a
+// contiguous angle array, dispatching to glibc's libmvec SIMD kernels when
+// the build and host support them.
+//
+// Numerics contract: libmvec documents <= 4 ulp error versus the correctly
+// rounded result, so vector and scalar paths are NOT bit-identical to each
+// other. That is fine for the engine's determinism guarantees, which are
+// per-machine: the dispatch decision is fixed for the lifetime of the
+// process, and every caller (PhaseBatch, and PhaseNetwork through its
+// batch-of-one facade) funnels through this one helper, so batch-of-R stays
+// bit-identical to R serial runs on any given host.
+#pragma once
+
+#include <cstddef>
+
+namespace msropm::phase::detail {
+
+/// s[i] = sin(x[i]), c[i] = cos(x[i]) for i in [0, n).
+void sincos_array(const double* x, double* s, double* c, std::size_t n);
+
+}  // namespace msropm::phase::detail

@@ -45,11 +45,16 @@ enum class StrategyKind : std::uint8_t {
                     ///< Not in default_strategies(); opt in explicitly.
   kTabucol,         ///< tabu search (seeded, budgeted)
   kSaPotts,         ///< simulated annealing (seeded, budgeted)
+  kMsropm,          ///< the paper's machine: best-of-N MSROPM Monte-Carlo
+                    ///< iterations on the batched phase engine. Runs at the
+                    ///< largest power-of-two palette <= num_colors (hardware
+                    ///< stages encode log2(K) bits). Not in
+                    ///< default_strategies(); opt in explicitly.
 };
 
 [[nodiscard]] const char* to_string(StrategyKind kind) noexcept;
-/// Parse "dsatur", "cdcl", "cdcl-pre", "cdcl-inc", "tabucol", "sa"; nullopt
-/// otherwise.
+/// Parse "dsatur", "cdcl", "cdcl-pre", "cdcl-inc", "tabucol", "sa",
+/// "msropm"; nullopt otherwise.
 [[nodiscard]] std::optional<StrategyKind> strategy_from_string(
     std::string_view name) noexcept;
 
@@ -69,6 +74,9 @@ struct StrategyConfig {
   /// SA-Potts: sweep budget and starting temperature.
   std::size_t sa_sweeps = 400;
   double sa_t_start = 2.0;
+  /// MSROPM: Monte-Carlo iteration budget (the paper's best-of-40), driven
+  /// through core::run_iterations' batched solve path in one worker thread.
+  std::size_t msropm_iterations = 40;
 };
 
 /// The default lineup: one slot per strategy kind, cheapest first. The order
@@ -95,6 +103,12 @@ struct StrategyOutcome {
   bool ran = false;        ///< false = skipped (instance already decided)
   bool cancelled = false;  ///< stop token fired mid-run
   std::size_t conflicts = kNoColoring;  ///< conflicts of the returned coloring
+  /// Solution quality of the returned coloring: satisfied edges / total
+  /// edges, in [0, 1] (1.0 = proper). Negative when the strategy produced no
+  /// coloring to grade. Inconclusive heuristics still report the quality of
+  /// their best attempt, which is what the sweep report's quality column
+  /// compares across strategies.
+  double quality = -1.0;
   double millis = 0.0;                  ///< wall time of this strategy run
   std::string error;  ///< non-empty when the strategy threw (counts unknown)
 };

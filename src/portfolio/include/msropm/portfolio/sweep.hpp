@@ -58,6 +58,13 @@ class SweepRunner {
   [[nodiscard]] util::TextTable report(
       const std::vector<InstanceSpec>& instances, const SweepResult& result) const;
 
+  /// Per-strategy summary across the whole sweep: attempts, wins, mean
+  /// quality of the colorings each strategy produced, and mean attempt time.
+  /// This is the machine-vs-SAT comparison row set — an `msropm` slot next
+  /// to the SAT-side strategies shows solution quality against time on the
+  /// same instances.
+  [[nodiscard]] util::TextTable strategy_summary(const SweepResult& result) const;
+
  private:
   SweepOptions options_;
 };

@@ -62,31 +62,59 @@ util::TextTable SweepRunner::report(const std::vector<InstanceSpec>& instances,
           options_.portfolio.strategies[static_cast<std::size_t>(r.winner)].kind);
     }
     // Quality = the paper's accuracy metric of the best coloring any strategy
-    // produced: 1 - min_conflicts / edges. A decided-colorable instance is
-    // 1.0 by construction; UNSAT instances have no coloring to grade.
+    // produced (satisfied edges / edges, graded per outcome in run_task). A
+    // decided-colorable instance is 1.0 by construction; UNSAT instances have
+    // no coloring to grade. Heuristic and machine attempts that fell short
+    // still report their best coloring's grade, never a blank.
     std::string quality = "-";
     if (r.verdict == Verdict::kColored) {
       quality = util::format_double(1.0, 4);
-    } else if (r.verdict == Verdict::kUnknown && spec.graph.num_edges() > 0) {
-      std::size_t best_conflicts = StrategyOutcome::kNoColoring;
+    } else if (r.verdict == Verdict::kUnknown) {
+      double best_quality = -1.0;
       for (const StrategyOutcome& o : r.outcomes) {
         // Only grade outcomes that actually produced a coloring; a CDCL
         // attempt that timed out has no coloring, not a perfect one.
-        if (o.ran && o.conflicts != StrategyOutcome::kNoColoring) {
-          best_conflicts = std::min(best_conflicts, o.conflicts);
-        }
+        if (o.ran) best_quality = std::max(best_quality, o.quality);
       }
-      if (best_conflicts != StrategyOutcome::kNoColoring) {
-        quality = util::format_double(
-            1.0 - static_cast<double>(best_conflicts) /
-                      static_cast<double>(spec.graph.num_edges()),
-            4);
+      if (best_quality >= 0.0) {
+        quality = util::format_double(best_quality, 4);
       }
     }
     table.add_row({spec.name, std::to_string(spec.graph.num_nodes()),
                    std::to_string(spec.graph.num_edges()),
                    std::to_string(spec.num_colors), to_string(r.verdict), winner,
                    util::format_double(r.millis, 2), quality});
+  }
+  return table;
+}
+
+util::TextTable SweepRunner::strategy_summary(const SweepResult& result) const {
+  const std::vector<StrategyConfig>& strategies = options_.portfolio.strategies;
+  util::TextTable table({"strategy", "ran", "wins", "cancelled", "mean_quality",
+                         "mean_ms"});
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    std::size_t ran = 0, wins = 0, cancelled = 0, graded = 0;
+    double quality_sum = 0.0, millis_sum = 0.0;
+    for (const PortfolioResult& r : result.instances) {
+      if (s >= r.outcomes.size()) continue;
+      const StrategyOutcome& o = r.outcomes[s];
+      if (!o.ran) continue;
+      ++ran;
+      millis_sum += o.millis;
+      if (o.cancelled) ++cancelled;
+      if (r.winner == static_cast<int>(s)) ++wins;
+      if (o.quality >= 0.0) {
+        ++graded;
+        quality_sum += o.quality;
+      }
+    }
+    table.add_row(
+        {to_string(strategies[s].kind), std::to_string(ran),
+         std::to_string(wins), std::to_string(cancelled),
+         graded ? util::format_double(quality_sum / static_cast<double>(graded), 4)
+                : std::string("-"),
+         ran ? util::format_double(millis_sum / static_cast<double>(ran), 2)
+             : std::string("-")});
   }
   return table;
 }
