@@ -20,6 +20,7 @@
 #include "msropm/sat/solver.hpp"
 #include "msropm/solvers/maxcut_sa.hpp"
 #include "msropm/solvers/sa_potts.hpp"
+#include "msropm/util/fault_injector.hpp"
 
 using namespace msropm;
 
@@ -202,6 +203,43 @@ void BM_ObsHistogramOverhead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsHistogramOverhead);
+
+// Same gate for the fault injector: every engine hot loop carries fault
+// points (propagate/analyze/GC/alloc/step), so an UNCONFIGURED injector must
+// cost exactly what the obs gate costs — one relaxed atomic load and a
+// predicted branch. All counting lives behind should_fire(), which
+// util::fault::fire() only reaches when armed.
+void BM_FaultGateOverhead(benchmark::State& state) {
+  util::fault::disarm();
+  for (auto _ : state) {
+    bool fired = util::fault::fire(util::FaultSite::kPropagate);
+    benchmark::DoNotOptimize(fired);
+  }
+
+  constexpr std::size_t kChecks = 1u << 20;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kChecks; ++i) {
+    bool fired = util::fault::fire(util::FaultSite::kPropagate);
+    benchmark::DoNotOptimize(fired);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ns_per_check =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()) /
+      static_cast<double>(kChecks);
+  state.counters["disabled_ns_per_check"] = ns_per_check;
+
+  constexpr double kMaxDisabledNsPerCheck = 8.0;
+  if (ns_per_check > kMaxDisabledNsPerCheck) {
+    std::fprintf(stderr,
+                 "FAIL: disarmed fault gate costs %.2f ns (budget %.1f ns) — "
+                 "arrival counting must stay behind the armed() gate\n",
+                 ns_per_check, kMaxDisabledNsPerCheck);
+    std::exit(1);
+  }
+}
+BENCHMARK(BM_FaultGateOverhead);
 
 // Companion number for the README: what a span costs when tracing IS on
 // (two clock reads + a ring push). Not gated — enabled-path cost is a

@@ -7,7 +7,7 @@
 //   dimacs_solver <graph.col> [colors=4] [iterations=40] [seed=1] [--sat]
 //                 [--chromatic] [--preprocess] [--no-preprocess]
 //                 [--trace FILE] [--metrics] [--metrics-json FILE]
-//                 [--metrics-prom FILE]
+//                 [--metrics-prom FILE] [--fault-spec SPEC]
 //
 // --trace records msropm::obs spans (solver phases, preprocessing passes,
 // incremental rounds) and writes a Chrome trace-event JSON on exit; --metrics
@@ -31,15 +31,24 @@
 // clauses between rounds, and the exit code reflects whether the chromatic
 // number fits the palette.
 //
+// --fault-spec installs a util::FaultInjector schedule (grammar in
+// src/util/include/msropm/util/fault_injector.hpp) for chaos drills; the
+// MSROPM_FAULT environment variable does the same without touching the
+// command line.
+//
 // Exit codes follow the DIMACS solver convention so scripted sweeps can trust
 // the status: 10 = a proper K-coloring exists (found by any engine), 20 = no
 // K-coloring exists (proved by the --sat CDCL baseline), 0 = unknown (no
-// proper coloring found and no proof). Usage/input errors exit 2.
+// proper coloring found and no proof). Usage/input errors exit 2; an escaped
+// exception (including std::bad_alloc) exits 3 with a diagnostic, so a
+// scripted sweep can tell "crashed" from "unknown".
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
+#include <new>
 #include <string>
 
 #include "msropm/analysis/experiments.hpp"
@@ -51,6 +60,7 @@
 #include "msropm/sat/coloring_encoder.hpp"
 #include "msropm/sat/incremental_coloring.hpp"
 #include "msropm/solvers/dsatur.hpp"
+#include "msropm/util/fault_injector.hpp"
 #include "msropm/util/table.hpp"
 
 namespace {
@@ -106,9 +116,7 @@ bool write_text_file(const std::string& path, const std::string& content) {
   return static_cast<bool>(file.flush());
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_solver_cli(int argc, char** argv) {
   using namespace msropm;
 
   if (argc < 2) {
@@ -116,8 +124,12 @@ int main(int argc, char** argv) {
                  "usage: %s <graph.col> [colors=4] [iterations=40] [seed=1] "
                  "[--sat] [--chromatic] [--preprocess] [--no-preprocess] "
                  "[--trace FILE] [--metrics] [--metrics-json FILE] "
-                 "[--metrics-prom FILE]\n",
+                 "[--metrics-prom FILE] [--fault-spec SPEC]\n",
                  argv[0]);
+    return 2;
+  }
+  if (!util::fault::configure_from_env()) {
+    std::fprintf(stderr, "error: malformed MSROPM_FAULT spec\n");
     return 2;
   }
   const std::string path = argv[1];
@@ -174,6 +186,15 @@ int main(int argc, char** argv) {
       }
       note_repeat("--metrics-prom", seen_prom);
       metrics_prom_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-spec") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--fault-spec needs a spec string\n");
+        return 2;
+      }
+      if (!util::fault::configure(argv[++i])) {
+        std::fprintf(stderr, "error: malformed --fault-spec '%s'\n", argv[i]);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "unrecognized flag: %s\n", argv[i]);
       return 2;
@@ -335,4 +356,25 @@ int main(int argc, char** argv) {
   }
 
   return finish(status);
+}
+
+}  // namespace
+
+// Last line of defense: nothing below the CLI should let an exception
+// escape, but if one does (or the process genuinely runs out of memory), a
+// diagnostic plus a distinct exit code beats std::terminate. 3 is disjoint
+// from the DIMACS statuses (10/20/0) and usage errors (2).
+int main(int argc, char** argv) {
+  try {
+    return run_solver_cli(argc, argv);
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "fatal: out of memory\n");
+    return 3;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "fatal: unhandled exception: %s\n", ex.what());
+    return 3;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unhandled non-standard exception\n");
+    return 3;
+  }
 }

@@ -36,18 +36,29 @@
 //   --metrics-json FILE  export the same snapshot as a JSON document
 //   --metrics-prom FILE  export the same snapshot in Prometheus text format
 //                  (both imply --metrics)
+//   --fault-spec SPEC    install a util::FaultInjector schedule (grammar in
+//                  fault_injector.hpp) — chaos drills; MSROPM_FAULT in the
+//                  environment does the same
+//   --budget-mb M / --budget-conflicts C / --budget-props P   per-attempt
+//                  ResourceBudget caps (0 = unlimited); a breach ends that
+//                  attempt with its LimitReason in the report's limit column
+//   --no-degrade   skip the post-drain DSATUR/tabucol best-effort ladder for
+//                  unknown instances
 //
 // The observability outputs are emitted on every exit path once the flags
 // parsed — instance-loading errors and undecided sweeps included — and
 // repeating any observability flag keeps the last value (with a warning).
 //
 // Exit code: 0 when every instance reached a definitive verdict (colored or
-// UNSAT), 1 when any stayed unknown, 2 on usage errors.
+// UNSAT), 1 when any stayed unknown, 2 on usage errors, 3 when an exception
+// (including std::bad_alloc) escaped the sweep.
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <limits>
+#include <new>
 #include <optional>
 #include <string>
 #include <vector>
@@ -55,6 +66,7 @@
 #include "msropm/obs/obs.hpp"
 #include "msropm/portfolio/portfolio.hpp"
 #include "msropm/portfolio/sweep.hpp"
+#include "msropm/util/fault_injector.hpp"
 #include "msropm/util/strings.hpp"
 
 namespace {
@@ -124,7 +136,8 @@ int usage(const char* argv0) {
                "dsatur,cdcl,cdcl-pre,cdcl-inc,tabucol,sa,msropm[:N]] "
                "[--seed S] [--schedule strategy|instance] [--csv] "
                "[--trace FILE] [--metrics] [--metrics-json FILE] "
-               "[--metrics-prom FILE]\n",
+               "[--metrics-prom FILE] [--fault-spec SPEC] [--budget-mb M] "
+               "[--budget-conflicts C] [--budget-props P] [--no-degrade]\n",
                argv0);
   return 2;
 }
@@ -136,9 +149,7 @@ bool write_text_file(const std::string& path, const std::string& content) {
   return static_cast<bool>(file.flush());
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_sweep_cli(int argc, char** argv) {
   std::vector<std::size_t> kings_sides;
   std::vector<std::size_t> unsat_sides;
   std::vector<std::string> dimacs_paths;
@@ -157,6 +168,12 @@ int main(int argc, char** argv) {
                    flag);
     }
   };
+
+  // Environment first so an explicit --fault-spec wins over MSROPM_FAULT.
+  if (!util::fault::configure_from_env()) {
+    std::fprintf(stderr, "error: malformed MSROPM_FAULT spec\n");
+    return 2;
+  }
 
   for (int i = 1; i < argc; ++i) {
     const auto need_value = [&](const char* flag) -> const char* {
@@ -230,6 +247,32 @@ int main(int argc, char** argv) {
       if (!v) return usage(argv[0]);
       note_repeat("--metrics-prom", seen_prom);
       metrics_prom_path = v;
+    } else if (std::strcmp(argv[i], "--fault-spec") == 0) {
+      const char* v = need_value("--fault-spec");
+      if (!v) return usage(argv[0]);
+      if (!util::fault::configure(v)) {
+        std::fprintf(stderr, "error: malformed --fault-spec '%s'\n", v);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--budget-mb") == 0) {
+      const auto v = parse_flag_int(need_value("--budget-mb"), 0,
+                                    std::numeric_limits<long long>::max() >> 20);
+      if (!v) return usage(argv[0]);
+      options.portfolio.budget.max_memory_bytes =
+          static_cast<std::uint64_t>(*v) << 20;
+    } else if (std::strcmp(argv[i], "--budget-conflicts") == 0) {
+      const auto v = parse_flag_int(need_value("--budget-conflicts"), 0,
+                                    std::numeric_limits<long long>::max());
+      if (!v) return usage(argv[0]);
+      options.portfolio.budget.max_conflicts = static_cast<std::uint64_t>(*v);
+    } else if (std::strcmp(argv[i], "--budget-props") == 0) {
+      const auto v = parse_flag_int(need_value("--budget-props"), 0,
+                                    std::numeric_limits<long long>::max());
+      if (!v) return usage(argv[0]);
+      options.portfolio.budget.max_propagations =
+          static_cast<std::uint64_t>(*v);
+    } else if (std::strcmp(argv[i], "--no-degrade") == 0) {
+      options.portfolio.degrade = false;
     } else {
       std::fprintf(stderr, "unrecognized argument: %s\n", argv[i]);
       return usage(argv[0]);
@@ -330,4 +373,24 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(options.portfolio.master_seed));
 
   return finish(result.decided() == instances.size() ? 0 : 1);
+}
+
+}  // namespace
+
+// Nothing below the CLI should let an exception escape, but if one does —
+// or the process genuinely runs out of memory — a diagnostic plus exit code
+// 3 (disjoint from 0/1/2) beats std::terminate for scripted sweeps.
+int main(int argc, char** argv) {
+  try {
+    return run_sweep_cli(argc, argv);
+  } catch (const std::bad_alloc&) {
+    std::fprintf(stderr, "fatal: out of memory\n");
+    return 3;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "fatal: unhandled exception: %s\n", ex.what());
+    return 3;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unhandled non-standard exception\n");
+    return 3;
+  }
 }

@@ -17,6 +17,16 @@
 #                                           # cancellation tests and the
 #                                           # batched-runner equivalence
 #                                           # tests under ThreadSanitizer
+#   CHECK_CHAOS=1 scripts/check.sh          # normal run, then additionally
+#                                           # build build-asan/ and run the
+#                                           # chaos suite (randomized fault
+#                                           # schedules + resource budgets +
+#                                           # deadline edge cases) under
+#                                           # ASan/UBSan, plus a fixed matrix
+#                                           # of fault-injected CLI runs that
+#                                           # must exit with a real status,
+#                                           # never a crash, and the
+#                                           # BM_FaultGateOverhead <=8ns gate
 #   CHECK_OBS=1 scripts/check.sh            # normal run, then additionally
 #                                           # run an instrumented 4-worker
 #                                           # portfolio sweep with --trace
@@ -96,9 +106,53 @@ if [ "${CHECK_TSAN:-0}" = "1" ] && [ "${SANITIZE}" != "thread" ]; then
   cmake --build build-tsan -j "${JOBS}" --target \
     portfolio_test portfolio_cancel_test util_stop_token_test \
     sat_arena_test sat_arena_equivalence_test sat_solver_growth_test \
-    sat_incremental_test obs_test core_batch_equivalence_test
+    sat_incremental_test obs_test core_batch_equivalence_test \
+    chaos_test util_fault_injector_test
   ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-    -R "^(portfolio_test|portfolio_cancel_test|util_stop_token_test|sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test|sat_incremental_test|obs_test|core_batch_equivalence_test)\$"
+    -R "^(portfolio_test|portfolio_cancel_test|util_stop_token_test|sat_arena_test|sat_arena_equivalence_test|sat_solver_growth_test|sat_incremental_test|obs_test|core_batch_equivalence_test|chaos_test|util_fault_injector_test)\$"
+fi
+
+# Chaos preset: the randomized fault-schedule suite is exactly where a
+# mid-unwind use-after-free or leaked allocation would hide, so it runs
+# under ASan/UBSan; a fixed seed matrix of fault-injected CLI runs checks
+# the end-to-end behavior (real exit codes, diagnostics on stderr, never a
+# crash); and BM_FaultGateOverhead enforces that the disarmed injector costs
+# <= 8 ns per fault point.
+if [ "${CHECK_CHAOS:-0}" = "1" ] && [ "${SANITIZE}" = "OFF" ]; then
+  cmake -B build-asan -S . -DMSROPM_SANITIZE=ON
+  cmake --build build-asan -j "${JOBS}" --target \
+    chaos_test util_fault_injector_test graph_io_test dimacs_solver
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" \
+    -R "^(chaos_test|util_fault_injector_test|graph_io_test)\$"
+  # Fixed seed matrix through the CLI: exit 10/20/0 are legitimate verdicts
+  # under chaos, 2 is a usage error we did not make, 3 would mean an escaped
+  # exception, anything else (e.g. 139) a crash.
+  python3 - <<'EOF'
+import subprocess, sys, tempfile, os
+specs = ["alloc:1", "propagate:1:3", "analyze:2", "gc:1", "pre:1",
+         "all@0.05,seed=7", "all@0.2,seed=11", "stall:1,stall-ms=1"]
+# 3x3 King's graph in DIMACS .col form (4-colorable; K=3 is UNSAT).
+edges = [(u, v) for u in range(9) for v in range(u + 1, 9)
+         if abs(u % 3 - v % 3) <= 1 and abs(u // 3 - v // 3) <= 1]
+body = f"p edge 9 {len(edges)}\n" + "".join(f"e {u+1} {v+1}\n" for u, v in edges)
+path = os.path.join(tempfile.mkdtemp(), "kings3.col")
+with open(path, "w") as f:
+    f.write(body)
+for spec in specs:
+    # Colors must be a power of two for the machine plan; 4 is SAT on the
+    # 3x3 King's graph, 2 is UNSAT — both legitimate verdict exits.
+    for args in (["4", "10", "1", "--sat"], ["2", "5", "1", "--sat", "--chromatic"]):
+        cmd = ["./build-asan/dimacs_solver", path] + args + ["--fault-spec", spec]
+        r = subprocess.run(cmd, capture_output=True)
+        if r.returncode not in (0, 10, 20):
+            sys.stderr.write(f"chaos CLI matrix: {' '.join(cmd)} exited "
+                             f"{r.returncode}\n{r.stderr.decode()}\n")
+            sys.exit(1)
+print(f"chaos CLI matrix: {2*len(specs)} fault-injected runs, all clean exits")
+EOF
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_micro_perf
+  "./${BUILD_DIR}/bench_micro_perf" \
+    --benchmark_filter='BM_FaultGateOverhead' --benchmark_min_time=0.05
 fi
 
 # Observability end-to-end: an instrumented 4-worker sweep must emit a valid

@@ -11,6 +11,13 @@ namespace msropm::graph {
 
 namespace {
 
+// Untrusted-input ceilings: a header like "p edge 9999999999999 1" must be
+// rejected as malformed, not honored with a multi-gigabyte allocation (or a
+// silent NodeId truncation — node ids are uint32_t). The caps comfortably
+// exceed every published DIMACS coloring instance.
+constexpr long long kMaxDeclaredNodes = 1LL << 26;  // 67M nodes
+constexpr long long kMaxDeclaredEdges = 1LL << 31;  // 2G edge records
+
 [[noreturn]] void fail(std::size_t line_no, const std::string& what) {
   throw std::runtime_error("DIMACS parse error at line " +
                            std::to_string(line_no) + ": " + what);
@@ -21,6 +28,7 @@ namespace {
 Graph read_dimacs(std::istream& in) {
   std::optional<GraphBuilder> builder;
   std::size_t declared_edges = 0;
+  std::size_t edge_records = 0;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -33,9 +41,13 @@ Graph read_dimacs(std::istream& in) {
       if (tokens.size() != 4 || (tokens[1] != "edge" && tokens[1] != "col")) {
         fail(line_no, "expected 'p edge <n> <m>'");
       }
+      // parse_int rejects anything that overflows long long outright; the
+      // explicit caps below reject in-range-but-absurd declarations.
       const auto n = util::parse_int(tokens[2]);
       const auto m = util::parse_int(tokens[3]);
       if (!n || !m || *n < 0 || *m < 0) fail(line_no, "bad node/edge counts");
+      if (*n > kMaxDeclaredNodes) fail(line_no, "node count too large");
+      if (*m > kMaxDeclaredEdges) fail(line_no, "edge count too large");
       builder.emplace(static_cast<std::size_t>(*n));
       declared_edges = static_cast<std::size_t>(*m);
     } else if (tokens[0] == "e") {
@@ -48,15 +60,28 @@ Graph read_dimacs(std::istream& in) {
       if (*u < 1 || *u > n || *v < 1 || *v > n) fail(line_no, "endpoint out of range");
       if (*u == *v) fail(line_no, "self-loop");
       builder->add_edge(static_cast<NodeId>(*u - 1), static_cast<NodeId>(*v - 1));
+      ++edge_records;
     } else {
       fail(line_no, "unknown record '" + tokens[0] + "'");
     }
+  }
+  // Distinguish EOF from an I/O error mid-file: a read that died partway
+  // must not be handed back as a (silently smaller) valid graph.
+  if (in.bad()) {
+    throw std::runtime_error("DIMACS parse error: I/O error while reading");
   }
   if (!builder) throw std::runtime_error("DIMACS parse error: no problem line");
   // Some published instances list each edge twice; accept any count that
   // collapses to at most the declaration.
   if (builder->num_edges() > declared_edges && declared_edges != 0) {
     throw std::runtime_error("DIMACS parse error: more distinct edges than declared");
+  }
+  // Fewer edge RECORDS than declared means the file was cut off (records,
+  // not distinct edges — duplicate listings keep records >= declaration).
+  if (edge_records < declared_edges) {
+    throw std::runtime_error(
+        "DIMACS parse error: fewer edge records than declared "
+        "(truncated input?)");
   }
   return builder->build();
 }

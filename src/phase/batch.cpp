@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "msropm/obs/obs.hpp"
+#include "msropm/util/fault_injector.hpp"
 #include "trig.hpp"
 
 namespace msropm::phase {
@@ -433,10 +434,11 @@ void PhaseBatch::step_rk4() {
   for (std::size_t r = 0; r < r_; ++r) rk4_step_replica(r);
 }
 
-void PhaseBatch::run(double duration, std::span<util::Rng> rngs,
+bool PhaseBatch::run(double duration, std::span<util::Rng> rngs,
                      const GainRamp* shil_ramp,
-                     const std::function<void(double, const PhaseBatch&)>& observer) {
-  if (duration <= 0.0) return;
+                     const std::function<void(double, const PhaseBatch&)>& observer,
+                     const util::StopToken* stop) {
+  if (duration <= 0.0) return true;
   if (rngs.size() != r_) {
     throw std::invalid_argument("PhaseBatch::run: one Rng per replica");
   }
@@ -482,10 +484,23 @@ void PhaseBatch::run(double duration, std::span<util::Rng> rngs,
       }
     }
   };
+  // Stop/fault poll, every 32 steps so the gate cost is off the step path.
+  // With no token and no armed injector this is a counter test + two
+  // predictable branches per 32 steps — trajectories stay bit-identical.
+  bool interrupted = false;
+  const auto should_break = [&](std::size_t s) {
+    if ((s & 31u) != 0) return false;
+    if (stop != nullptr && stop->stop_requested()) return true;
+    return util::fault::fire(util::FaultSite::kBatchStep);
+  };
   if (observer) {
     // Observer sees the whole batch after each step, so steps must advance in
     // lockstep across replicas.
     for (std::size_t s = 0; s < steps; ++s) {
+      if (should_break(s)) {
+        interrupted = true;
+        break;
+      }
       for (std::size_t r = 0; r < r_; ++r) step_one(r, s);
       observer(static_cast<double>(s + 1) * dt, *this);
     }
@@ -495,8 +510,14 @@ void PhaseBatch::run(double duration, std::span<util::Rng> rngs,
     // touches replica-r state and rngs[r], so the trajectories are
     // bit-identical to the lockstep order (the equivalence gate covers both:
     // solve_batch windows take this path, its stage observers the other).
-    for (std::size_t r = 0; r < r_; ++r) {
-      for (std::size_t s = 0; s < steps; ++s) step_one(r, s);
+    for (std::size_t r = 0; r < r_ && !interrupted; ++r) {
+      for (std::size_t s = 0; s < steps; ++s) {
+        if (should_break(s)) {
+          interrupted = true;
+          break;
+        }
+        step_one(r, s);
+      }
     }
   }
   if (shil_ramp != nullptr) {
@@ -517,6 +538,7 @@ void PhaseBatch::run(double duration, std::span<util::Rng> rngs,
       obs::trace_counter("phase.hb.replica_steps_per_sec", rate);
     }
   }
+  return !interrupted;
 }
 
 double PhaseBatch::coupling_energy(std::size_t r) const {

@@ -37,6 +37,7 @@
 
 #include "msropm/graph/graph.hpp"
 #include "msropm/util/rng.hpp"
+#include "msropm/util/stop_token.hpp"
 
 namespace msropm::phase {
 
@@ -145,10 +146,16 @@ class PhaseBatch {
   /// Integrate every replica for a duration [s] with params.integrator. An
   /// optional ramp shapes the SHIL level across the window (scaling each
   /// replica's level set on entry); an optional observer is invoked after
-  /// each step with the elapsed window time.
-  void run(double duration, std::span<util::Rng> rngs,
+  /// each step with the elapsed window time. An optional stop token is
+  /// polled every 32 steps (along with the `step` fault site): when it fires
+  /// the window ends early — state is a valid trajectory prefix, ramp levels
+  /// are restored, and the batch stays fully usable — and run() returns
+  /// false. A null/never-firing token changes nothing (bit-identical
+  /// trajectories, the core determinism gate).
+  bool run(double duration, std::span<util::Rng> rngs,
            const GainRamp* shil_ramp = nullptr,
-           const std::function<void(double, const PhaseBatch&)>& observer = {});
+           const std::function<void(double, const PhaseBatch&)>& observer = {},
+           const util::StopToken* stop = nullptr);
 
   /// Replica r's energy E(theta) under its active mask (excludes SHIL term).
   [[nodiscard]] double coupling_energy(std::size_t r) const;

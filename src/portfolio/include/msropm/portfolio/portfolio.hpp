@@ -31,6 +31,7 @@
 
 #include "msropm/graph/coloring.hpp"
 #include "msropm/graph/graph.hpp"
+#include "msropm/util/resource_budget.hpp"
 
 namespace msropm::portfolio {
 
@@ -111,15 +112,41 @@ struct StrategyOutcome {
   double quality = -1.0;
   double millis = 0.0;                  ///< wall time of this strategy run
   std::string error;  ///< non-empty when the strategy threw (counts unknown)
+  /// Why the attempt stopped short (kNone for definitive or plain-cancelled
+  /// runs): a ResourceBudget breach, an expired deadline, or an injected
+  /// fault. Reflects the FINAL attempt when retries happened.
+  util::LimitReason limit = util::LimitReason::kNone;
+  /// Retries consumed by the watchdog (attempts beyond the first; bounded by
+  /// PortfolioOptions::max_retries). Only injected-fault and thrown attempts
+  /// are retried.
+  unsigned retries = 0;
 };
 
-/// Portfolio result for one instance.
+/// Portfolio result for one instance. The engine guarantees a TERMINAL
+/// status for every job: a definitive verdict, a best-effort coloring from
+/// the degradation ladder, or an unknown annotated with the limit that ended
+/// the attempts — never a silently lost row.
 struct PortfolioResult {
   Verdict verdict = Verdict::kUnknown;
   std::optional<graph::Coloring> coloring;  ///< set when verdict == kColored
   int winner = -1;      ///< index into PortfolioOptions::strategies, -1 = none
   double millis = 0.0;  ///< wall time from engine start to this verdict
   std::vector<StrategyOutcome> outcomes;  ///< one per strategy slot
+  /// First non-kNone limit among the outcomes when the verdict stayed
+  /// unknown: why the exact attempts fell short.
+  util::LimitReason limit = util::LimitReason::kNone;
+  /// Degradation ladder output (verdict == kUnknown and degrade enabled):
+  /// the best coloring bounded DSATUR + a short deterministic tabucol could
+  /// produce. NOT a verdict — it may be improper (see best_effort_quality) —
+  /// but every instance gets an answer. Never set for definitive verdicts.
+  std::optional<graph::Coloring> best_effort;
+  /// Satisfied-edge fraction of best_effort in [0, 1]; -1 when unset.
+  double best_effort_quality = -1.0;
+  /// True when the instance reached a terminal status (see struct comment).
+  [[nodiscard]] bool terminal() const noexcept {
+    return verdict != Verdict::kUnknown || best_effort.has_value() ||
+           limit != util::LimitReason::kNone;
+  }
 };
 
 /// Order in which a batch of instances x strategies is fed to the pool.
@@ -146,6 +173,23 @@ struct PortfolioOptions {
   /// Wall-clock cap per strategy attempt, 0 = none. Nondeterministic by
   /// nature (see determinism contract above).
   std::uint64_t timeout_ms = 0;
+  /// Per-attempt resource budget forwarded to every CDCL-family strategy
+  /// (memory / conflicts / propagations; wall time is timeout_ms). A breach
+  /// ends that attempt with its LimitReason — it never cancels siblings.
+  util::ResourceBudget budget = {};
+  /// Watchdog retry cap for attempts killed by an injected fault or an
+  /// exception: up to this many re-runs per (instance, strategy) slot, with
+  /// exponential backoff. Resource/deadline breaches are NOT retried (the
+  /// same budget would just breach again).
+  unsigned max_retries = 2;
+  /// Base backoff before the first retry; doubles per retry. 0 disables the
+  /// sleep (retries stay immediate and deterministic-ish for tests).
+  unsigned retry_backoff_ms = 1;
+  /// Graceful-degradation ladder: when every strategy left an instance
+  /// unknown, run bounded DSATUR + a short deterministic tabucol post-drain
+  /// and publish the best coloring as PortfolioResult::best_effort. Never
+  /// changes the verdict.
+  bool degrade = true;
 };
 
 /// One instance of a batch: a graph plus the palette size to decide.

@@ -15,6 +15,7 @@
 #include "msropm/solvers/dsatur.hpp"
 #include "msropm/solvers/sa_potts.hpp"
 #include "msropm/solvers/tabucol.hpp"
+#include "msropm/util/fault_injector.hpp"
 #include "msropm/util/rng.hpp"
 #include "msropm/util/stop_token.hpp"
 
@@ -88,6 +89,7 @@ struct StrategyRun {
   std::size_t conflicts = StrategyOutcome::kNoColoring;
   bool cancelled = false;
   std::string error;
+  util::LimitReason limit = util::LimitReason::kNone;
 };
 
 /// Accept a heuristic/decoded coloring only after re-verifying it, so a
@@ -107,7 +109,8 @@ void accept_if_proper(const graph::Graph& g, unsigned num_colors,
 
 StrategyRun run_cdcl(const graph::Graph& g, unsigned num_colors,
                      const StrategyConfig& config, bool presimplify,
-                     const util::StopToken& token) {
+                     const util::StopToken& token,
+                     const util::ResourceBudget& budget) {
   StrategyRun run;
   if (token.stop_requested()) {  // encoding is not cancellable; skip it whole
     run.cancelled = true;
@@ -117,10 +120,12 @@ StrategyRun run_cdcl(const graph::Graph& g, unsigned num_colors,
   sat::SolverOptions options = sat::exact_coloring_solver_options();
   options.presimplify = presimplify;
   options.conflict_limit = config.conflict_limit;
+  options.budget = budget;
   options.stop = token;
   sat::Solver solver(encoding.cnf, options);
   const sat::SolveResult result = solver.solve();
   run.cancelled = solver.cancelled();
+  run.limit = solver.stats().limit_reason;
   if (result == sat::SolveResult::kSat) {
     accept_if_proper(g, num_colors, encoding.decode(solver.model()), run);
   } else if (result == sat::SolveResult::kUnsat) {
@@ -131,7 +136,8 @@ StrategyRun run_cdcl(const graph::Graph& g, unsigned num_colors,
 
 StrategyRun run_cdcl_incremental(const graph::Graph& g, unsigned num_colors,
                                  const StrategyConfig& config,
-                                 const util::StopToken& token) {
+                                 const util::StopToken& token,
+                                 const util::ResourceBudget& budget) {
   // Incremental chromatic sweep: clique-seeded lower bound (K below the
   // clique size is UNSAT with zero solver calls), one multi-shot solver
   // across every K, colors disabled per query via activation-literal
@@ -145,9 +151,11 @@ StrategyRun run_cdcl_incremental(const graph::Graph& g, unsigned num_colors,
   }
   sat::ChromaticSearchOptions options;
   options.conflict_limit = config.conflict_limit;
+  options.budget = budget;
   options.stop = token;
   auto outcome = sat::chromatic_search(g, num_colors, options);
   run.cancelled = outcome.cancelled;
+  run.limit = outcome.limit;
   if (outcome.chromatic) {
     accept_if_proper(g, num_colors, std::move(outcome.coloring), run);
   } else if (!outcome.incomplete) {
@@ -203,7 +211,8 @@ StrategyRun run_msropm(const graph::Graph& g, unsigned num_colors,
 
 StrategyRun run_strategy(const graph::Graph& g, unsigned num_colors,
                          const StrategyConfig& config,
-                         const util::StopToken& token, util::Rng& rng) {
+                         const util::StopToken& token, util::Rng& rng,
+                         const util::ResourceBudget& budget) {
   StrategyRun run;
   switch (config.kind) {
     case StrategyKind::kDsatur: {
@@ -212,11 +221,13 @@ StrategyRun run_strategy(const graph::Graph& g, unsigned num_colors,
       return run;
     }
     case StrategyKind::kCdcl:
-      return run_cdcl(g, num_colors, config, /*presimplify=*/false, token);
+      return run_cdcl(g, num_colors, config, /*presimplify=*/false, token,
+                      budget);
     case StrategyKind::kCdclPresimplify:
-      return run_cdcl(g, num_colors, config, /*presimplify=*/true, token);
+      return run_cdcl(g, num_colors, config, /*presimplify=*/true, token,
+                      budget);
     case StrategyKind::kCdclIncremental:
-      return run_cdcl_incremental(g, num_colors, config, token);
+      return run_cdcl_incremental(g, num_colors, config, token, budget);
     case StrategyKind::kTabucol: {
       solvers::TabucolOptions options;
       options.num_colors = num_colors;
@@ -267,6 +278,18 @@ struct PortfolioMetrics {
   obs::MetricId c_cancelled = obs::counter("portfolio.cancelled");
   obs::MetricId c_timeouts = obs::counter("portfolio.timeouts");
   obs::MetricId c_skipped = obs::counter("portfolio.skipped");
+  // Resource-governance / fault-injection telemetry. limit.* counts attempts
+  // ended by each LimitReason; the retry histogram records retries consumed
+  // per slot that needed any; degraded counts ladder invocations.
+  obs::MetricId c_limit_memory = obs::counter("limit.memory");
+  obs::MetricId c_limit_conflicts = obs::counter("limit.conflicts");
+  obs::MetricId c_limit_propagations = obs::counter("limit.propagations");
+  obs::MetricId c_limit_deadline = obs::counter("limit.deadline");
+  obs::MetricId c_fault_injected = obs::counter("fault.injected");
+  obs::MetricId c_fault_stalls = obs::counter("fault.stalls");
+  obs::MetricId c_retries = obs::counter("portfolio.retries");
+  obs::MetricId h_retry_count = obs::histogram("portfolio.retry_count");
+  obs::MetricId c_degraded = obs::counter("portfolio.degraded");
   obs::MetricId g_hb_queue = obs::gauge("portfolio.hb.queue_depth");
   obs::MetricId g_hb_in_flight = obs::gauge("portfolio.hb.in_flight");
   obs::MetricId g_hb_wins = obs::gauge("portfolio.hb.wins");
@@ -276,6 +299,28 @@ struct PortfolioMetrics {
 const PortfolioMetrics& pm() {
   static const PortfolioMetrics m;
   return m;
+}
+
+void note_limit_obs(util::LimitReason reason) {
+  switch (reason) {
+    case util::LimitReason::kNone:
+      return;
+    case util::LimitReason::kMemory:
+      obs::add(pm().c_limit_memory, 1);
+      return;
+    case util::LimitReason::kConflicts:
+      obs::add(pm().c_limit_conflicts, 1);
+      return;
+    case util::LimitReason::kPropagations:
+      obs::add(pm().c_limit_propagations, 1);
+      return;
+    case util::LimitReason::kDeadline:
+      obs::add(pm().c_limit_deadline, 1);
+      return;
+    case util::LimitReason::kInjected:
+      obs::add(pm().c_fault_injected, 1);
+      return;
+  }
 }
 
 // Static span/marker names per strategy so trace events never allocate.
@@ -389,18 +434,52 @@ std::vector<PortfolioResult> run_portfolio_batch(
     util::Rng rng = master.split(i * num_strategies + s);
     const Clock::time_point task_start = Clock::now();
     StrategyRun run;
-    try {
-      run = run_strategy(*jobs[i].graph, jobs[i].num_colors, config, token, rng);
-    } catch (const std::exception& ex) {
-      // Count as inconclusive, never kill the pool — but keep the reason so
-      // a real defect or OOM is distinguishable from an ordinary exhausted
-      // budget in the outcome record.
-      run = StrategyRun{};
-      run.error = ex.what();
-    } catch (...) {
-      run = StrategyRun{};
-      run.error = "unknown exception";
+    unsigned retries = 0;
+    for (;;) {
+      if (util::fault::fire(util::FaultSite::kWorkerStall)) {
+        // The stall fault models a descheduled / wedged worker, not a dead
+        // one: sleep, then run the attempt normally. Siblings keep racing.
+        obs::add(pm().c_fault_stalls, 1);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(util::fault::stall_ms()));
+      }
+      try {
+        run = run_strategy(*jobs[i].graph, jobs[i].num_colors, config, token,
+                           rng, options.budget);
+      } catch (const std::exception& ex) {
+        // Count as inconclusive, never kill the pool — but keep the reason so
+        // a real defect or OOM is distinguishable from an ordinary exhausted
+        // budget in the outcome record.
+        run = StrategyRun{};
+        run.error = ex.what();
+      } catch (...) {
+        run = StrategyRun{};
+        run.error = "unknown exception";
+      }
+      if (run.limit == util::LimitReason::kNone && run.cancelled &&
+          token.deadline_expired()) {
+        run.limit = util::LimitReason::kDeadline;  // heuristics hit timeout_ms
+      }
+      // Watchdog: retry attempts an injected fault or an exception killed —
+      // transient by definition. Resource/deadline breaches are NOT retried
+      // (the same budget would breach identically), and a decided instance
+      // (stop token without deadline) makes any retry pointless.
+      const bool transient =
+          !run.error.empty() || run.limit == util::LimitReason::kInjected;
+      if (!transient || retries >= options.max_retries ||
+          token.stop_requested()) {
+        break;
+      }
+      ++retries;
+      obs::add(pm().c_retries, 1);
+      if (options.retry_backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<std::uint64_t>(options.retry_backoff_ms)
+            << (retries - 1)));
+      }
     }
+    if (retries > 0) obs::observe(pm().h_retry_count, retries);
+    note_limit_obs(run.limit);
     const double task_millis = millis_since(task_start);
     obs::add(pm().c_attempts, 1);
     if (run.cancelled) {
@@ -427,6 +506,8 @@ std::vector<PortfolioResult> run_portfolio_batch(
     outcome.ran = true;
     outcome.verdict = run.verdict;
     outcome.cancelled = run.cancelled;
+    outcome.limit = run.limit;
+    outcome.retries = retries;
     outcome.conflicts = run.conflicts;
     if (run.conflicts != StrategyOutcome::kNoColoring) {
       const std::size_t edges = jobs[i].graph->num_edges();
@@ -517,6 +598,55 @@ std::vector<PortfolioResult> run_portfolio_batch(
       for (std::size_t s = 0; s < num_strategies; ++s) tasks.emplace_back(i, s);
     }
     drain(tasks);
+  }
+
+  // Terminal-status pass (after the drain, so no locks needed): annotate
+  // every still-unknown instance with the limit that ended its attempts, and
+  // — unless disabled — run the graceful-degradation ladder so the caller
+  // gets a best-effort coloring instead of a bare unknown. The ladder never
+  // touches the verdict: promoting a best-effort answer to a definitive one
+  // is the exact strategies' job, not the fallback's.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    PortfolioResult& result = states[i].result;
+    if (result.verdict != Verdict::kUnknown) continue;
+    for (const StrategyOutcome& outcome : result.outcomes) {
+      if (outcome.limit != util::LimitReason::kNone) {
+        result.limit = outcome.limit;
+        break;
+      }
+    }
+    if (!options.degrade) continue;
+    obs::add(pm().c_degraded, 1);
+    const graph::Graph& g = *jobs[i].graph;
+    const std::size_t edges = g.num_edges();
+    const auto quality_of = [&](const graph::Coloring& colors) {
+      const std::size_t conflicts = graph::count_conflicts(g, colors);
+      return edges == 0 ? 1.0
+                        : static_cast<double>(edges - conflicts) /
+                              static_cast<double>(edges);
+    };
+    // Rung 1: bounded DSATUR — deterministic, microseconds, always yields a
+    // full (possibly improper) coloring within the palette.
+    auto dsatur = solvers::solve_dsatur_bounded(g, jobs[i].num_colors);
+    graph::Coloring best = std::move(dsatur.colors);
+    double best_quality = quality_of(best);
+    // Rung 2: a short, deterministically seeded tabucol polish when DSATUR
+    // left conflicts. The stream id sits past every task stream, so ladder
+    // randomness never perturbs strategy attempts.
+    if (best_quality < 1.0) {
+      solvers::TabucolOptions tabu_options;
+      tabu_options.num_colors = jobs[i].num_colors;
+      tabu_options.max_iterations = 2000;
+      util::Rng ladder_rng = master.split(jobs.size() * num_strategies + i);
+      auto tabu = solvers::solve_tabucol(g, tabu_options, ladder_rng);
+      const double tabu_quality = quality_of(tabu.colors);
+      if (tabu_quality > best_quality) {
+        best_quality = tabu_quality;
+        best = std::move(tabu.colors);
+      }
+    }
+    result.best_effort = std::move(best);
+    result.best_effort_quality = best_quality;
   }
 
   std::vector<PortfolioResult> results;

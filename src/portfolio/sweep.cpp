@@ -52,7 +52,7 @@ SweepResult SweepRunner::run(const std::vector<InstanceSpec>& instances) const {
 util::TextTable SweepRunner::report(const std::vector<InstanceSpec>& instances,
                                     const SweepResult& result) const {
   util::TextTable table({"instance", "nodes", "edges", "K", "verdict", "winner",
-                         "t_verdict_ms", "quality"});
+                         "t_verdict_ms", "quality", "limit"});
   for (std::size_t i = 0; i < result.instances.size(); ++i) {
     const PortfolioResult& r = result.instances[i];
     const InstanceSpec& spec = instances[i];
@@ -70,7 +70,7 @@ util::TextTable SweepRunner::report(const std::vector<InstanceSpec>& instances,
     if (r.verdict == Verdict::kColored) {
       quality = util::format_double(1.0, 4);
     } else if (r.verdict == Verdict::kUnknown) {
-      double best_quality = -1.0;
+      double best_quality = r.best_effort_quality;  // degradation ladder, if run
       for (const StrategyOutcome& o : r.outcomes) {
         // Only grade outcomes that actually produced a coloring; a CDCL
         // attempt that timed out has no coloring, not a perfect one.
@@ -80,10 +80,14 @@ util::TextTable SweepRunner::report(const std::vector<InstanceSpec>& instances,
         quality = util::format_double(best_quality, 4);
       }
     }
+    // Why the exact attempts fell short (unknown rows only): budget breach,
+    // deadline, or injected fault. "-" for decided rows or plain exhaustion.
+    const std::string limit =
+        r.limit == util::LimitReason::kNone ? "-" : util::to_string(r.limit);
     table.add_row({spec.name, std::to_string(spec.graph.num_nodes()),
                    std::to_string(spec.graph.num_edges()),
                    std::to_string(spec.num_colors), to_string(r.verdict), winner,
-                   util::format_double(r.millis, 2), quality});
+                   util::format_double(r.millis, 2), quality, limit});
   }
   return table;
 }

@@ -115,6 +115,9 @@ struct ChromaticSearchOptions {
   bool presimplify = true;
   /// Per-K conflict budget (0 = unlimited); kUnknown aborts the search.
   std::uint64_t conflict_limit = 0;
+  /// Per-solve resource budget, forwarded to every solver the sweep builds.
+  /// A breach ends the search incomplete with `limit` set in the outcome.
+  util::ResourceBudget budget = {};
   /// Cooperative cancellation, polled inside every solve.
   util::StopToken stop = {};
 };
@@ -137,6 +140,10 @@ struct ChromaticSearchOutcome {
   bool incomplete = false;
   /// True when specifically the stop token ended the search.
   bool cancelled = false;
+  /// Why the search went incomplete (kNone when it completed or only the
+  /// legacy conflict_limit/representability caps applied): mirrors the
+  /// interrupted solver's SolverStats::limit_reason.
+  util::LimitReason limit = util::LimitReason::kNone;
   /// Solver statistics, summed over every solver the search constructed:
   /// the minimal-palette probe plus one multi-shot solver per 2-color chunk
   /// in incremental mode, or the per-K fresh solvers in from-scratch mode

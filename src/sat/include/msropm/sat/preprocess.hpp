@@ -31,6 +31,7 @@
 
 #include "msropm/sat/arena.hpp"
 #include "msropm/sat/cnf.hpp"
+#include "msropm/util/resource_budget.hpp"
 #include "msropm/util/stop_token.hpp"
 
 namespace msropm::sat {
@@ -63,6 +64,12 @@ struct PreprocessOptions {
   /// leaves the formula equisatisfiable, so an interrupted run still returns
   /// a sound (just less simplified) result.
   util::StopToken stop = {};
+  /// Resource budget, checked between technique passes like `stop`. Only
+  /// max_memory_bytes applies here (the working arena, 4 bytes per word);
+  /// a breach ends simplification early with stats.limit = kMemory and the
+  /// usual sound partial result. Solver::presimplify forwards its own
+  /// memory cap when this one is unset.
+  util::ResourceBudget budget = {};
 };
 
 struct PreprocessStats {
@@ -82,6 +89,11 @@ struct PreprocessStats {
   std::size_t eliminated_vars = 0;    ///< vars removed by BVE
   std::size_t rounds = 0;
   double seconds = 0.0;
+  /// Why simplification stopped early (kNone when it ran to fixpoint or the
+  /// round cap): kMemory for a budget breach, kDeadline/kNone for a stop
+  /// trip, kInjected for a FaultInjector `pre` fire. The partial result is
+  /// sound either way.
+  util::LimitReason limit = util::LimitReason::kNone;
 
   /// Fraction of original clauses removed (0 when the input was empty).
   [[nodiscard]] double clause_reduction() const noexcept {

@@ -33,6 +33,7 @@
 #include "msropm/sat/order_heap.hpp"
 #include "msropm/sat/preprocess.hpp"
 #include "msropm/sat/watcher.hpp"
+#include "msropm/util/resource_budget.hpp"
 #include "msropm/util/stop_token.hpp"
 
 namespace msropm::sat {
@@ -56,6 +57,11 @@ struct SolverStats {
   std::uint64_t gc_freed_words = 0;    ///< words reclaimed across all GCs
   std::uint64_t arena_alloc_words = 0; ///< lifetime words handed to clauses
   std::uint64_t arena_peak_words = 0;  ///< high-water mark of the live buffer
+  /// Why the LAST solve() call returned kUnknown (kNone for definitive
+  /// results and for plain sibling-cancellation): which ResourceBudget limit
+  /// breached, kDeadline for an expired StopToken deadline, or kInjected for
+  /// a FaultInjector trip. Reset at every solve() entry.
+  util::LimitReason limit_reason = util::LimitReason::kNone;
 };
 
 struct SolverOptions {
@@ -77,6 +83,11 @@ struct SolverOptions {
   bool presimplify = false;
   /// Technique selection and caps for presimplify.
   PreprocessOptions preprocess = {};
+  /// Per-call resource budget (memory / conflicts / propagations; wall time
+  /// rides the stop token's deadline). A breach returns kUnknown with
+  /// stats().limit_reason set; the solver stays usable for the next call.
+  /// The default (unlimited) budget leaves the search path untouched.
+  util::ResourceBudget budget = {};
   /// Cooperative cancellation: polled during clause ingestion and every few
   /// dozen decisions/conflicts of the search. When it fires, solve() returns
   /// kUnknown and cancelled() turns true. The default token never fires.
@@ -332,6 +343,22 @@ class Solver {
   bool ok_ = true;          // false once a top-level conflict is derived
   bool db_incomplete_ = false;  // cancelled during ingest: SAT never provable
   bool cancelled_ = false;      // last call was interrupted by options_.stop
+  // Resource-governance state. attached_watchers_ counts every live watcher
+  // ever attached minus purges (8 bytes each in the accounting model);
+  // memory_model_bytes() = arena words * 4 + watchers * 8. db_limit_ records
+  // a breach that happened during CONSTRUCTION (ingest/presimplify) so every
+  // subsequent solve() reports it. The per-call fields are set at solve entry.
+  std::uint64_t attached_watchers_ = 0;
+  util::LimitReason db_limit_ = util::LimitReason::kNone;
+  std::uint64_t prop_budget_ = 0;  // per-call: stats_.propagations cap
+  bool budget_active_ = false;     // hoisted limited() for the hot path
+  [[nodiscard]] std::uint64_t memory_model_bytes() const noexcept {
+    return (static_cast<std::uint64_t>(arena_.used_words())) * 4 +
+           attached_watchers_ * 8;
+  }
+  /// kNone, or the first budget limit currently breached. Cheap enough for
+  /// the conflict branch; callers gate on budget_active_.
+  [[nodiscard]] util::LimitReason budget_breach() const noexcept;
   SolverOptions options_;
   SolverStats stats_;
   std::vector<std::uint8_t> model_;

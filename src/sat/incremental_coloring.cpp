@@ -57,6 +57,9 @@ void accumulate_stats(SolverStats& into, const SolverStats& from) {
   into.gc_freed_words += from.gc_freed_words;
   into.arena_alloc_words += from.arena_alloc_words;
   into.arena_peak_words = std::max(into.arena_peak_words, from.arena_peak_words);
+  if (from.limit_reason != util::LimitReason::kNone) {
+    into.limit_reason = from.limit_reason;
+  }
 }
 
 }  // namespace
@@ -199,6 +202,7 @@ ChromaticSearchOutcome chromatic_search(const graph::Graph& g, unsigned max_k,
       options.presimplify ? exact_coloring_solver_options() : SolverOptions{};
   profile.presimplify = options.presimplify;
   profile.conflict_limit = options.conflict_limit;
+  profile.budget = options.budget;
   profile.stop = options.stop;
 
   if (options.incremental) {
@@ -224,6 +228,7 @@ ChromaticSearchOutcome chromatic_search(const graph::Graph& g, unsigned max_k,
       if (result == SolveResult::kUnknown) {
         out.incomplete = true;
         out.cancelled = probe.cancelled();
+        out.limit = probe.stats().limit_reason;
         return out;
       }
     }
@@ -254,6 +259,7 @@ ChromaticSearchOutcome chromatic_search(const graph::Graph& g, unsigned max_k,
         if (result == SolveResult::kUnknown) {
           out.incomplete = true;
           out.cancelled = inc.cancelled();
+          out.limit = inc.stats().limit_reason;
           break;
         }
         if (inc.formula_unsat()) {
@@ -282,6 +288,7 @@ ChromaticSearchOutcome chromatic_search(const graph::Graph& g, unsigned max_k,
         // kUnknown is either the stop token or the per-K conflict budget.
         out.incomplete = true;
         out.cancelled = options.stop.stop_requested();
+        out.limit = outcome.solver_stats.limit_reason;
         break;
       }
     }

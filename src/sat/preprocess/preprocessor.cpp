@@ -4,6 +4,7 @@
 
 #include "msropm/obs/obs.hpp"
 #include "msropm/sat/preprocess.hpp"
+#include "msropm/util/fault_injector.hpp"
 
 namespace msropm::sat {
 
@@ -578,10 +579,30 @@ PreprocessResult Preprocessor::run() {
   PreprocessResult result;
   obs::Span run_span("sat.presimplify", pmx().t_run);
 
-  // Cancellation is polled between passes: every pass leaves the formula
-  // equisatisfiable with a consistent Remapper stack, so stopping here is
-  // always sound — the caller just gets a less simplified formula.
-  const auto stopped = [this]() { return options_.stop.stop_requested(); };
+  // Cancellation, the memory budget, and the `pre` fault site are all polled
+  // between passes: every pass leaves the formula equisatisfiable with a
+  // consistent Remapper stack, so stopping here is always sound — the caller
+  // just gets a less simplified formula, with the cause in stats_.limit.
+  const auto stopped = [this]() {
+    if (stats_.limit != util::LimitReason::kNone) return true;
+    if (options_.stop.stop_requested()) {
+      stats_.limit = options_.stop.deadline_expired()
+                         ? util::LimitReason::kDeadline
+                         : util::LimitReason::kNone;
+      return true;
+    }
+    if (options_.budget.max_memory_bytes != 0 &&
+        static_cast<std::uint64_t>(arena_.used_words()) * 4 >
+            options_.budget.max_memory_bytes) {
+      stats_.limit = util::LimitReason::kMemory;
+      return true;
+    }
+    if (util::fault::fire(util::FaultSite::kPreprocessPass)) {
+      stats_.limit = util::LimitReason::kInjected;
+      return true;
+    }
+    return false;
+  };
   while (!unsat_ && stats_.rounds < options_.max_rounds && !stopped()) {
     ++stats_.rounds;
     bool changed = false;

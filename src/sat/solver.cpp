@@ -10,8 +10,12 @@
 #include <string>
 
 #include "msropm/obs/obs.hpp"
+#include "msropm/util/fault_injector.hpp"
 
 namespace msropm::sat {
+
+using util::FaultSite;
+using util::LimitReason;
 
 namespace {
 
@@ -89,6 +93,10 @@ Solver::Solver(const Cnf& cnf, SolverOptions options) : options_(options) {
     if (!options_.preprocess.stop.stop_possible()) {
       options_.preprocess.stop = options_.stop;
     }
+    if (options_.preprocess.budget.max_memory_bytes == 0) {
+      options_.preprocess.budget.max_memory_bytes =
+          options_.budget.max_memory_bytes;
+    }
     PreprocessResult pre = preprocess(cnf, options_.preprocess);
     preprocess_stats_ = pre.stats;
     remapper_ = std::move(pre.remapper);
@@ -104,8 +112,14 @@ Solver::Solver(const Cnf& cnf, SolverOptions options) : options_(options) {
       setup_arrays(0);
       cancelled_ = true;
       db_incomplete_ = true;
+      db_limit_ = options_.stop.deadline_expired() ? LimitReason::kDeadline
+                                                   : LimitReason::kNone;
       return;
     }
+    // A preprocessor interrupted by its budget or a fault leaves a partial
+    // but equisatisfiable simplification, so the solver CONTINUES with it
+    // (graceful degradation); the interruption stays visible in
+    // preprocess_stats(). Only a stop-token trip above aborts construction.
     // Preprocessor output already lives in an arena; adopt it wholesale.
     adopt_arena(pre.num_vars, std::move(pre.arena), std::move(pre.clauses));
   } else {
@@ -114,6 +128,14 @@ Solver::Solver(const Cnf& cnf, SolverOptions options) : options_(options) {
   // A clause DB truncated by cancellation can never prove SAT; remember the
   // condition across solve() calls (cancelled_ itself is per-call state).
   db_incomplete_ = cancelled_;
+  if (!cancelled_ && ok_ && options_.budget.max_memory_bytes != 0 &&
+      memory_model_bytes() > options_.budget.max_memory_bytes) {
+    // The ingested formula alone exceeds the memory budget: no solve() call
+    // can ever fit, so every call reports kUnknown / kMemory.
+    cancelled_ = true;
+    db_incomplete_ = true;
+    db_limit_ = LimitReason::kMemory;
+  }
 }
 
 void Solver::setup_arrays(std::size_t num_vars) {
@@ -191,12 +213,28 @@ void Solver::init_from(const Cnf& cnf) {
   std::vector<BinaryClause> binaries;
   stored.reserve(cnf.num_clauses());
   std::size_t ingested = 0;
+  const std::uint64_t mem_cap = options_.budget.max_memory_bytes;
   for (const Clause& c : cnf.clauses()) {
-    if ((ingested++ & 2047) == 0 && options_.stop.stop_requested()) {
-      // Partial clause DB: any UNSAT already derived (ok_ == false) is sound
-      // for the full formula, but SAT is not — solve() returns kUnknown.
-      cancelled_ = true;
-      break;
+    if ((ingested++ & 2047) == 0) {
+      if (options_.stop.stop_requested()) {
+        // Partial clause DB: any UNSAT already derived (ok_ == false) is
+        // sound for the full formula, but SAT is not — solve() returns
+        // kUnknown.
+        cancelled_ = true;
+        db_limit_ = options_.stop.deadline_expired() ? LimitReason::kDeadline
+                                                     : LimitReason::kNone;
+        break;
+      }
+      if (mem_cap != 0 && memory_model_bytes() > mem_cap) {
+        cancelled_ = true;
+        db_limit_ = LimitReason::kMemory;
+        break;
+      }
+      if (util::fault::fire(FaultSite::kArenaAlloc)) {
+        cancelled_ = true;
+        db_limit_ = LimitReason::kInjected;
+        break;
+      }
     }
     // Copy into the reused scratch buffer: ingestion allocates literal
     // storage only in the arena, never one vector per clause.
@@ -218,9 +256,18 @@ void Solver::adopt_arena(std::size_t num_vars, ClauseArena&& arena,
   std::size_t ingested = 0;
   std::size_t kept = 0;
   for (ClauseRef cr : refs) {
-    if ((ingested++ & 2047) == 0 && options_.stop.stop_requested()) {
-      cancelled_ = true;
-      break;
+    if ((ingested++ & 2047) == 0) {
+      if (options_.stop.stop_requested()) {
+        cancelled_ = true;
+        db_limit_ = options_.stop.deadline_expired() ? LimitReason::kDeadline
+                                                     : LimitReason::kNone;
+        break;
+      }
+      if (util::fault::fire(FaultSite::kArenaAlloc)) {
+        cancelled_ = true;
+        db_limit_ = LimitReason::kInjected;
+        break;
+      }
     }
     const std::size_t n = arena_.size(cr);
     const Lit* lits = arena_.lits(cr);
@@ -266,11 +313,13 @@ void Solver::attach_clause(ClauseRef cr) {
   // the arena dereference entirely.
   watches_[(~lits[0]).index()].push_back(Watcher::clause(cr, lits[1]));
   watches_[(~lits[1]).index()].push_back(Watcher::clause(cr, lits[0]));
+  attached_watchers_ += 2;
 }
 
 void Solver::attach_binary(Lit a, Lit b) {
   watches_[(~a).index()].push_back(Watcher::binary(b));
   watches_[(~b).index()].push_back(Watcher::binary(a));
+  attached_watchers_ += 2;
 }
 
 void Solver::enqueue(Lit l, Reason reason) {
@@ -644,14 +693,17 @@ void Solver::reduce_learnts() {
 }
 
 void Solver::purge_watches() {
+  std::uint64_t purged = 0;
   for (auto& watch_list : watches_) {
-    watch_list.erase(
+    const auto keep_end =
         std::remove_if(watch_list.begin(), watch_list.end(),
                        [this](Watcher w) {
                          return !w.is_binary() && arena_.deleted(w.cref);
-                       }),
-        watch_list.end());
+                       });
+    purged += static_cast<std::uint64_t>(watch_list.end() - keep_end);
+    watch_list.erase(keep_end, watch_list.end());
   }
+  attached_watchers_ -= purged;
 }
 
 void Solver::garbage_collect() {
@@ -688,6 +740,17 @@ void Solver::note_arena_peak() noexcept {
     stats_.arena_peak_words = arena_.used_words();
   }
   stats_.arena_alloc_words = arena_.alloc_words();
+}
+
+util::LimitReason Solver::budget_breach() const noexcept {
+  if (options_.budget.max_memory_bytes != 0 &&
+      memory_model_bytes() > options_.budget.max_memory_bytes) {
+    return LimitReason::kMemory;
+  }
+  if (prop_budget_ != 0 && stats_.propagations >= prop_budget_) {
+    return LimitReason::kPropagations;
+  }
+  return LimitReason::kNone;
 }
 
 std::uint64_t Solver::luby(std::uint64_t i) noexcept {
@@ -950,14 +1013,28 @@ SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions) {
   backtrack(0);
   model_.clear();
   failed_assumptions_.clear();
+  stats_.limit_reason = LimitReason::kNone;
   // An empty clause derived from any prefix of the formula refutes the whole
   // formula, so a top-level conflict outranks cancellation.
   if (!ok_) return SolveResult::kUnsat;
   cancelled_ = db_incomplete_;
-  if (cancelled_ || options_.stop.stop_requested()) {
-    cancelled_ = true;
+  if (cancelled_) {
+    stats_.limit_reason = db_limit_;
     return SolveResult::kUnknown;
   }
+  if (options_.stop.stop_requested()) {
+    cancelled_ = true;
+    stats_.limit_reason = options_.stop.deadline_expired()
+                              ? LimitReason::kDeadline
+                              : LimitReason::kNone;
+    return SolveResult::kUnknown;
+  }
+  // Per-call budget baselines, hoisted once so the unbudgeted search pays a
+  // single predictable branch per conflict / decision-poll.
+  budget_active_ = options_.budget.limited();
+  prop_budget_ = options_.budget.max_propagations == 0
+                     ? 0
+                     : stats_.propagations + options_.budget.max_propagations;
   if (!map_assumptions(assumptions)) return SolveResult::kUnsat;
   if (!propagate().is_none()) {
     ok_ = false;
@@ -965,11 +1042,17 @@ SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions) {
   }
 
   std::vector<Lit> learnt;
-  // The conflict budget is per call; stats_.conflicts is cumulative.
+  // The conflict budget is per call; stats_.conflicts is cumulative. The
+  // legacy conflict_limit and budget.max_conflicts share the cap: the
+  // smaller nonzero one binds, and a trip reports LimitReason::kConflicts.
+  std::uint64_t call_conflict_cap = options_.conflict_limit;
+  if (options_.budget.max_conflicts != 0 &&
+      (call_conflict_cap == 0 ||
+       options_.budget.max_conflicts < call_conflict_cap)) {
+    call_conflict_cap = options_.budget.max_conflicts;
+  }
   const std::uint64_t conflict_budget =
-      options_.conflict_limit == 0
-          ? 0
-          : stats_.conflicts + options_.conflict_limit;
+      call_conflict_cap == 0 ? 0 : stats_.conflicts + call_conflict_cap;
   // The Luby restart sequence restarts per CALL (MiniSat does the same):
   // continuing the cumulative index would leave later incremental queries
   // with the tail's huge intervals and no early restarts, which measurably
@@ -980,6 +1063,13 @@ SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions) {
   hb_restart_interval_ = conflicts_until_restart;
 
   for (;;) {
+    if (util::fault::armed() &&
+        util::fault::should_fire(FaultSite::kPropagate)) {
+      cancelled_ = true;
+      stats_.limit_reason = LimitReason::kInjected;
+      note_arena_peak();
+      return SolveResult::kUnknown;
+    }
     Reason conflict = Reason::none();
     {
       obs::Span prop_span("sat.propagate", sm().t_propagate);
@@ -993,6 +1083,15 @@ SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions) {
         return SolveResult::kUnsat;
       }
       if (!heap_active_) activate_heap();
+      if (util::fault::armed() &&
+          util::fault::should_fire(FaultSite::kAnalyze)) {
+        // Unwind before analysis: the trail still holds the conflicting
+        // assignment, which the next call's root backtrack discards.
+        cancelled_ = true;
+        stats_.limit_reason = LimitReason::kInjected;
+        note_arena_peak();
+        return SolveResult::kUnknown;
+      }
       const std::size_t trail_at_conflict = trail_.size();
       std::uint32_t bt_level = 0;
       {
@@ -1010,6 +1109,17 @@ SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions) {
         ++stats_.learnt_clauses;
         enqueue(learnt[0], Reason::binary(learnt[1]));
       } else {
+        if (util::fault::armed() &&
+            util::fault::should_fire(FaultSite::kArenaAlloc)) {
+          // Injected allocation failure for the learnt record: drop the
+          // clause (learning is optional for soundness) and unwind. The
+          // asserting literal was not enqueued, so the next call re-derives
+          // the conflict from scratch.
+          cancelled_ = true;
+          stats_.limit_reason = LimitReason::kInjected;
+          note_arena_peak();
+          return SolveResult::kUnknown;
+        }
         const ClauseRef cr = arena_.alloc(learnt, /*learnt=*/true);
         arena_.set_activity(cr, clause_inc_);
         attach_clause(cr);
@@ -1020,20 +1130,45 @@ SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions) {
       decay_activities();
       if (obs::gate() != 0) note_conflict_obs(learnt, trail_at_conflict);
       if (conflict_budget != 0 && stats_.conflicts >= conflict_budget) {
+        stats_.limit_reason = LimitReason::kConflicts;
         note_arena_peak();
         return SolveResult::kUnknown;
       }
+      if (budget_active_) {
+        const LimitReason breach = budget_breach();
+        if (breach != LimitReason::kNone) {
+          stats_.limit_reason = breach;
+          note_arena_peak();
+          return SolveResult::kUnknown;
+        }
+      }
       if ((stats_.conflicts & 255) == 0 && options_.stop.stop_requested()) {
         cancelled_ = true;
+        stats_.limit_reason = options_.stop.deadline_expired()
+                                  ? LimitReason::kDeadline
+                                  : LimitReason::kNone;
         note_arena_peak();
         return SolveResult::kUnknown;
       }
       if (conflicts_until_restart > 0) --conflicts_until_restart;
     } else {
-      if ((stats_.decisions & 127) == 0 && options_.stop.stop_requested()) {
-        cancelled_ = true;
-        note_arena_peak();
-        return SolveResult::kUnknown;
+      if ((stats_.decisions & 127) == 0) {
+        if (options_.stop.stop_requested()) {
+          cancelled_ = true;
+          stats_.limit_reason = options_.stop.deadline_expired()
+                                    ? LimitReason::kDeadline
+                                    : LimitReason::kNone;
+          note_arena_peak();
+          return SolveResult::kUnknown;
+        }
+        if (budget_active_) {
+          const LimitReason breach = budget_breach();
+          if (breach != LimitReason::kNone) {
+            stats_.limit_reason = breach;
+            note_arena_peak();
+            return SolveResult::kUnknown;
+          }
+        }
       }
       if (conflicts_until_restart == 0) {
         ++stats_.restarts;
@@ -1048,8 +1183,25 @@ SolveResult Solver::solve_internal(const std::vector<Lit>& assumptions) {
       // reduction trigger so the database-size cadence matches the learning
       // rate (they occupied learnt-list slots in the pre-watcher design too).
       if (learnt_refs_.size() + learnt_binaries_ >= learnt_cap_) {
+        if (util::fault::armed() && util::fault::should_fire(FaultSite::kGc)) {
+          cancelled_ = true;
+          stats_.limit_reason = LimitReason::kInjected;
+          note_arena_peak();
+          return SolveResult::kUnknown;
+        }
         reduce_learnts();
         learnt_cap_ += learnt_cap_ / 2;
+        // A reduction + compacting GC is the longest uninterruptible stretch
+        // of the search; re-check the deadline right after it so a timer
+        // that expired mid-GC surfaces now, not half a restart later.
+        if (options_.stop.stop_requested()) {
+          cancelled_ = true;
+          stats_.limit_reason = options_.stop.deadline_expired()
+                                    ? LimitReason::kDeadline
+                                    : LimitReason::kNone;
+          note_arena_peak();
+          return SolveResult::kUnknown;
+        }
       }
       // Assert pending assumptions as decisions, one level each. Level i+1
       // always belongs to assumption i: already-satisfied assumptions get an

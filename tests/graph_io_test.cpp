@@ -71,6 +71,49 @@ TEST(DimacsIo, RejectsMoreEdgesThanDeclared) {
                std::runtime_error);
 }
 
+// An instance that lists every edge twice is legal (records >= declared,
+// distinct edges <= declared) — the published-corpus quirk the truncation
+// check must not break.
+TEST(DimacsIo, AcceptsDoubleListedEdges) {
+  const Graph g = read_dimacs_string(
+      "p edge 3 2\n"
+      "e 1 2\ne 2 1\n"
+      "e 2 3\ne 3 2\n");
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+// A file cut off mid-stream has fewer edge records than the header promised;
+// it must be rejected, not returned as a silently smaller graph.
+TEST(DimacsIo, RejectsTruncatedEdgeList) {
+  EXPECT_THROW(read_dimacs_string("p edge 4 3\ne 1 2\ne 2 3\n"),
+               std::runtime_error);
+  // Header only, every edge missing.
+  EXPECT_THROW(read_dimacs_string("p edge 4 3\n"), std::runtime_error);
+}
+
+// Headers that would drive multi-gigabyte allocations (or overflow the
+// NodeId type / long long parsing) are malformed input, not requests.
+TEST(DimacsIo, RejectsOversizedDeclarations) {
+  EXPECT_THROW(read_dimacs_string("p edge 999999999999999 1\ne 1 2\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_dimacs_string("p edge 3 999999999999999\ne 1 2\n"),
+               std::runtime_error);
+  // Past long long entirely: from_chars overflow must surface as a parse
+  // error with a line number, not wrap around.
+  EXPECT_THROW(
+      read_dimacs_string("p edge 99999999999999999999999999 1\ne 1 2\n"),
+      std::runtime_error);
+  EXPECT_THROW(read_dimacs_string("p edge -1 0\n"), std::runtime_error);
+  EXPECT_THROW(read_dimacs_string("p edge 3 -1\n"), std::runtime_error);
+}
+
+// Endpoint tokens that overflow the parser are bad endpoints, not node 2^64-k.
+TEST(DimacsIo, RejectsOverflowingEndpoints) {
+  EXPECT_THROW(
+      read_dimacs_string("p edge 3 1\ne 1 99999999999999999999999999\n"),
+      std::runtime_error);
+}
+
 TEST(DimacsIo, RoundTripPreservesGraph) {
   const Graph original = kings_graph(4, 5);
   const auto text = write_dimacs_string(original, "kings 4x5");

@@ -1,0 +1,134 @@
+// Unit tests for util::FaultInjector: spec grammar, counted and
+// probabilistic fire schedules, determinism, and the armed()/disarm()
+// lifecycle. The engine-level behavior under injected faults lives in
+// tests/chaos_test.cpp; this file pins down the injector itself.
+#include "msropm/util/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using msropm::util::FaultSite;
+namespace fault = msropm::util::fault;
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::disarm(); }
+  void TearDown() override { fault::disarm(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedByDefault) {
+  EXPECT_FALSE(fault::armed());
+  EXPECT_FALSE(fault::fire(FaultSite::kPropagate));
+  // An unarmed fire() must not even count the arrival — that is the
+  // zero-overhead contract.
+  EXPECT_EQ(fault::arrivals(FaultSite::kPropagate), 0u);
+  EXPECT_EQ(fault::describe(), "");
+}
+
+TEST_F(FaultInjectorTest, EmptySpecDisarms) {
+  ASSERT_TRUE(fault::configure("propagate:1"));
+  EXPECT_TRUE(fault::armed());
+  ASSERT_TRUE(fault::configure(""));
+  EXPECT_FALSE(fault::armed());
+}
+
+TEST_F(FaultInjectorTest, MalformedSpecsRejectAndDisarm) {
+  const std::vector<std::string> bad = {
+      "bogus:1",       // unknown site
+      "propagate",     // missing count
+      "propagate:0",   // counted mode is 1-based
+      "propagate:-2",  // negative count
+      "propagate:1:0", // zero period
+      "propagate:1:2:3",  // too many fields
+      "alloc@1.5",     // probability out of range
+      "alloc@-0.1",
+      "alloc@x",
+      "seed=-1",
+      "stall-ms=abc",
+  };
+  for (const std::string& spec : bad) {
+    ASSERT_TRUE(fault::configure("gc:1"));  // arm first...
+    EXPECT_FALSE(fault::configure(spec)) << spec;
+    EXPECT_FALSE(fault::armed()) << spec;  // ...reject must also disarm
+  }
+}
+
+TEST_F(FaultInjectorTest, CountedFiresExactlyOnNthArrival) {
+  ASSERT_TRUE(fault::configure("analyze:3"));
+  EXPECT_FALSE(fault::fire(FaultSite::kAnalyze));
+  EXPECT_FALSE(fault::fire(FaultSite::kAnalyze));
+  EXPECT_TRUE(fault::fire(FaultSite::kAnalyze));
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(fault::fire(FaultSite::kAnalyze));
+  EXPECT_EQ(fault::hits(FaultSite::kAnalyze), 1u);
+  EXPECT_EQ(fault::arrivals(FaultSite::kAnalyze), 13u);
+  // Other sites are untouched by an analyze-only schedule.
+  EXPECT_FALSE(fault::fire(FaultSite::kGc));
+}
+
+TEST_F(FaultInjectorTest, PeriodicFiresOnNthThenEveryMth) {
+  ASSERT_TRUE(fault::configure("gc:2:3"));
+  std::vector<int> fired_at;
+  for (int arrival = 1; arrival <= 12; ++arrival) {
+    if (fault::fire(FaultSite::kGc)) fired_at.push_back(arrival);
+  }
+  EXPECT_EQ(fired_at, (std::vector<int>{2, 5, 8, 11}));
+}
+
+TEST_F(FaultInjectorTest, AllAppliesToEverySite) {
+  ASSERT_TRUE(fault::configure("all:1"));
+  for (std::size_t i = 0; i < msropm::util::kNumFaultSites; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    EXPECT_TRUE(fault::fire(site)) << msropm::util::to_string(site);
+    EXPECT_FALSE(fault::fire(site)) << msropm::util::to_string(site);
+  }
+}
+
+TEST_F(FaultInjectorTest, ProbabilisticModeIsSeedDeterministic) {
+  const auto run_schedule = [](const std::string& spec) {
+    EXPECT_TRUE(fault::configure(spec));
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) fires.push_back(fault::fire(FaultSite::kPropagate));
+    return fires;
+  };
+  const auto a = run_schedule("propagate@0.3,seed=5");
+  const auto b = run_schedule("propagate@0.3,seed=5");
+  const auto c = run_schedule("propagate@0.3,seed=6");
+  EXPECT_EQ(a, b);  // same seed, same arrivals -> identical schedule
+  EXPECT_NE(a, c);  // a different seed reshuffles it
+  std::size_t count = 0;
+  for (const bool f : a) count += f ? 1 : 0;
+  EXPECT_GT(count, 0u);    // p=0.3 over 200 arrivals fires...
+  EXPECT_LT(count, 200u);  // ...but not always
+}
+
+TEST_F(FaultInjectorTest, ConfigureResetsCountersAndStallDefaults) {
+  ASSERT_TRUE(fault::configure("stall:1,stall-ms=7"));
+  EXPECT_EQ(fault::stall_ms(), 7u);
+  EXPECT_TRUE(fault::fire(FaultSite::kWorkerStall));
+  EXPECT_EQ(fault::hits(FaultSite::kWorkerStall), 1u);
+  // Reconfiguring starts a fresh schedule: counters zeroed, defaults back.
+  ASSERT_TRUE(fault::configure("stall:1"));
+  EXPECT_EQ(fault::stall_ms(), 20u);
+  EXPECT_EQ(fault::arrivals(FaultSite::kWorkerStall), 0u);
+  EXPECT_EQ(fault::hits(FaultSite::kWorkerStall), 0u);
+}
+
+TEST_F(FaultInjectorTest, DescribeEchoesTheAcceptedSpec) {
+  ASSERT_TRUE(fault::configure(" gc:1 , seed=3 "));
+  EXPECT_EQ(fault::describe(), "gc:1 , seed=3");
+  fault::disarm();
+  EXPECT_EQ(fault::describe(), "");
+}
+
+TEST_F(FaultInjectorTest, SettingsOnlySpecStaysDisarmed) {
+  // seed=/stall-ms= alone configure nothing that can fire; arming anyway
+  // would put every fault point on the should_fire() slow path for nothing.
+  ASSERT_TRUE(fault::configure("seed=9,stall-ms=5"));
+  EXPECT_FALSE(fault::armed());
+}
+
+}  // namespace
