@@ -2,64 +2,40 @@
 # Tier-1 verification: configure + build + full ctest run.
 # Exits nonzero on the first failure.
 #
-# Usage:
+# Base usage:
 #   scripts/check.sh                        # Release build into build/
 #   MSROPM_SANITIZE=ON scripts/check.sh     # ASan/UBSan build into build-asan/
 #   MSROPM_SANITIZE=thread scripts/check.sh # TSan build into build-tsan/
-#   CHECK_ASAN=1 scripts/check.sh           # normal run, then additionally
-#                                           # build build-asan/ and run the
-#                                           # SAT arena/GC + preprocessor
-#                                           # tests plus the batched phase-
-#                                           # engine tests under ASan/UBSan
-#   CHECK_TSAN=1 scripts/check.sh           # normal run, then additionally
-#                                           # build build-tsan/ and run the
-#                                           # portfolio + stop-token + arena
-#                                           # cancellation tests and the
-#                                           # batched-runner equivalence
-#                                           # tests under ThreadSanitizer
-#   CHECK_CHAOS=1 scripts/check.sh          # normal run, then additionally
-#                                           # build build-asan/ and run the
-#                                           # chaos suite (randomized fault
-#                                           # schedules + resource budgets +
-#                                           # deadline edge cases) under
-#                                           # ASan/UBSan, plus a fixed matrix
-#                                           # of fault-injected CLI runs that
-#                                           # must exit with a real status,
-#                                           # never a crash, and the
-#                                           # BM_FaultGateOverhead <=8ns gate
-#   CHECK_OBS=1 scripts/check.sh            # normal run, then additionally
-#                                           # run an instrumented 4-worker
-#                                           # portfolio sweep with --trace
-#                                           # --metrics, validate the Chrome
-#                                           # trace with check_trace.py, and
-#                                           # run bench_portfolio as the
-#                                           # compiled-in-but-disabled obs
-#                                           # overhead gate
-#   CHECK_BENCH=1 scripts/check.sh          # normal run, then additionally
-#                                           # run bench_sat_arena (hard gate:
-#                                           # allocation scaling),
-#                                           # bench_portfolio (hard gates:
-#                                           # verdict identity at every
-#                                           # worker count, portfolio never
-#                                           # slower than the best single
-#                                           # strategy), bench_chromatic
-#                                           # (hard gates: incremental ==
-#                                           # from-scratch chromatic numbers,
-#                                           # incremental sweep never slower
-#                                           # than from-scratch) and
-#                                           # bench_phase_batch (hard gates:
-#                                           # batch-of-1 never slower than
-#                                           # the pre-refactor engine,
-#                                           # batch-of-40 >= 2x serial on at
-#                                           # least one fabric); all drop
-#                                           # bench_results/*.json
-#   CHECK_BENCH_DIFF=1 scripts/check.sh     # normal run, then run the four
-#                                           # result-dropping benches and diff
-#                                           # the fresh bench_results/ against
-#                                           # the copy committed at HEAD with
-#                                           # scripts/bench_diff.py — fails on
-#                                           # any gated metric regressing
-#                                           # beyond 10%
+#
+# Optional presets (each runs AFTER the normal build + ctest pass; combine
+# freely, e.g. CHECK_LINT=1 CHECK_BENCH=1 scripts/check.sh):
+#
+#   Preset             What it adds
+#   ----------------   ------------------------------------------------------
+#   CHECK_ASAN=1       SAT arena/GC + preprocessor + batched phase-engine
+#                      tests rebuilt and rerun under ASan/UBSan (build-asan/)
+#   CHECK_TSAN=1       portfolio + stop-token + arena cancellation + batched
+#                      runner equivalence tests under TSan (build-tsan/)
+#   CHECK_CHAOS=1      chaos suite (randomized fault schedules, budgets,
+#                      deadline edges) under ASan/UBSan; fault-injected CLI
+#                      matrix (real exits, never a crash); the
+#                      BM_FaultGateOverhead <= 8 ns gate
+#   CHECK_OBS=1        instrumented 4-worker sweep with --trace --metrics;
+#                      Chrome-trace validation (check_trace.py, jq);
+#                      bench_portfolio as the obs-disabled overhead gate
+#   CHECK_BENCH=1      bench_sat_arena / bench_portfolio / bench_chromatic /
+#                      bench_phase_batch with their hard perf + equivalence
+#                      gates; all drop bench_results/*.json
+#   CHECK_BENCH_DIFF=1 reruns the four result-dropping benches, then diffs
+#                      bench_results/ against the copy committed at HEAD
+#                      (scripts/bench_diff.py, fails on >10% regression)
+#   CHECK_LINT=1       msropm-lint over src/ (scripts/lint/: obs gating,
+#                      poll discipline, determinism, hot-path allocation,
+#                      atomics orders) — fails on any unsuppressed finding —
+#                      plus the lint self-test suite
+#   CHECK_TIDY=1       run-clang-tidy with the curated .clang-tidy profile
+#                      over build/compile_commands.json (skips with a notice
+#                      when clang-tidy is not installed)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -215,4 +191,30 @@ if [ "${CHECK_BENCH_DIFF:-0}" = "1" ] && [ "${SANITIZE}" = "OFF" ]; then
   "./${BUILD_DIR}/bench_chromatic"
   "./${BUILD_DIR}/bench_phase_batch"
   python3 scripts/bench_diff.py --git HEAD bench_results --threshold 0.10
+fi
+
+# Project-contract lint gate: msropm-lint enforces the cross-cutting
+# contracts generic tools can't see (obs gate domination, cooperative
+# cancellation polls, determinism, hot-path allocation discipline, explicit
+# atomic orders — see scripts/lint/README.md). The self-test suite runs
+# first so a broken rule never silently passes the tree.
+if [ "${CHECK_LINT:-0}" = "1" ]; then
+  python3 scripts/lint/tests/test_msropm_lint.py
+  python3 scripts/lint/msropm_lint.py src
+fi
+
+# Generic static analysis: curated .clang-tidy profile (bugprone, analyzer,
+# performance, concurrency) over the compilation database the main configure
+# step just exported. Advisory tooling availability: hosts without
+# clang-tidy skip with a notice instead of failing the check.
+if [ "${CHECK_TIDY:-0}" = "1" ]; then
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "${BUILD_DIR}" -quiet "src/.*\.cpp$"
+  elif command -v clang-tidy >/dev/null 2>&1; then
+    find src -name '*.cpp' -print0 |
+      xargs -0 clang-tidy -p "${BUILD_DIR}" --quiet
+  else
+    echo "CHECK_TIDY=1: clang-tidy not installed; skipping (msropm-lint" \
+         "remains the enforced gate — CHECK_LINT=1)"
+  fi
 fi

@@ -1,0 +1,112 @@
+"""libclang backend: precise function identification via clang.cindex.
+
+msropm-lint's rule semantics live in token/region analysis shared with the
+text backend (lintlib.textparse), so both backends report identical findings
+on identical structure.  What libclang adds when present:
+
+  * authoritative function-definition boundaries and fully qualified names
+    (namespaces + classes, template specializations) from the AST, which
+    replace the text backend's best-effort declarator recovery;
+  * a hard parse of each TU with the project's real compile flags from
+    compile_commands.json — a file that libclang cannot parse is reported
+    instead of silently half-analyzed.
+
+The backend degrades gracefully: when `clang.cindex` or the shared library
+is unavailable, available() returns (False, reason) and the driver falls
+back to the text backend (or exits 2 under --backend=clang).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .model import TranslationUnit
+from .textparse import extract_functions
+
+_IMPORT_ERROR: Optional[str] = None
+try:
+    from clang import cindex as _cindex  # type: ignore
+except Exception as exc:  # pragma: no cover - exercised only with libclang
+    _cindex = None
+    _IMPORT_ERROR = f'python clang.cindex unavailable: {exc}'
+
+_index = None
+
+
+def available() -> Tuple[bool, str]:
+    """(usable, reason-if-not).  Creating the Index is what actually loads
+    libclang.so, so probe it here rather than at first parse."""
+    global _index, _IMPORT_ERROR
+    if _cindex is None:
+        return False, _IMPORT_ERROR or 'clang.cindex not importable'
+    if _index is not None:
+        return True, ''
+    try:  # pragma: no cover - exercised only with libclang
+        _index = _cindex.Index.create()
+        return True, ''
+    except Exception as exc:  # pragma: no cover
+        _IMPORT_ERROR = f'libclang shared library not loadable: {exc}'
+        return False, _IMPORT_ERROR
+
+
+_FUNCTION_KINDS = None
+
+
+def _function_kinds():  # pragma: no cover - exercised only with libclang
+    global _FUNCTION_KINDS
+    if _FUNCTION_KINDS is None:
+        ck = _cindex.CursorKind
+        _FUNCTION_KINDS = {ck.FUNCTION_DECL, ck.CXX_METHOD, ck.CONSTRUCTOR,
+                           ck.DESTRUCTOR, ck.FUNCTION_TEMPLATE,
+                           ck.CONVERSION_FUNCTION}
+    return _FUNCTION_KINDS
+
+
+def _qualified_name(cursor) -> str:  # pragma: no cover
+    parts = [cursor.spelling or cursor.displayname]
+    parent = cursor.semantic_parent
+    ck = _cindex.CursorKind
+    while parent is not None and parent.kind in (
+            ck.NAMESPACE, ck.CLASS_DECL, ck.STRUCT_DECL, ck.CLASS_TEMPLATE):
+        if parent.spelling:
+            parts.append(parent.spelling)
+        parent = parent.semantic_parent
+    return '::'.join(reversed(parts))
+
+
+def build(abs_path: str, rel_path: str, text: str,
+          args: Optional[List[str]]) -> TranslationUnit:  # pragma: no cover
+    """Parse with libclang; structure recovery stays shared with the text
+    backend so rule behavior is backend-independent."""
+    tu_model = extract_functions(rel_path, text)
+    ok, _ = available()
+    if not ok:
+        return tu_model
+    clang_args = [a for a in (args or [])
+                  if not a.startswith(('-f', '-W', '-O', '-g', '-march'))]
+    if not any(a.startswith('-std') for a in clang_args):
+        clang_args.append('-std=c++20')
+    try:
+        ctu = _index.parse(abs_path, args=clang_args)
+    except Exception:
+        return tu_model
+    by_line: Dict[int, str] = {}
+    for cursor in ctu.cursor.walk_preorder():
+        try:
+            if cursor.kind not in _function_kinds():
+                continue
+            if not cursor.is_definition():
+                continue
+            loc = cursor.location
+            if loc.file is None or loc.file.name != abs_path:
+                continue
+            by_line[loc.line] = _qualified_name(cursor)
+        except ValueError:
+            continue  # unknown cursor kind from a newer libclang
+    for fn in tu_model.functions:
+        for delta in (0, 1, -1, 2, -2):
+            q = by_line.get(fn.line + delta)
+            if q:
+                fn.qualified = q
+                break
+    return tu_model

@@ -1,0 +1,179 @@
+"""C++ token stream for msropm-lint.
+
+A deliberately small lexer: it does not try to be a C++ front end, it only
+needs to be exact about the things that fool regex-based linters — comments,
+string/char literals (including raw strings), and line numbers. Preprocessor
+directives are kept as single tokens so rule code can skip them.
+
+Tokens are (kind, text, line, col) namedtuples. Kinds:
+  'id'     identifiers and keywords
+  'num'    numeric literals
+  'str'    string literal (text is the *quoted* source text)
+  'chr'    char literal
+  'punct'  one operator/punctuator per token (longest-match)
+  'pp'     a whole preprocessor directive line (including continuations)
+
+Comments never become tokens; suppression comments are handled separately by
+lintlib.suppress directly on the raw source lines.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int  # 1-based
+    col: int   # 0-based
+
+
+# Longest-first so '>>=' wins over '>>' wins over '>'.
+_PUNCTS = [
+    '<<=', '>>=', '...', '->*', '::', '->', '++', '--', '<<', '>>', '<=',
+    '>=', '==', '!=', '&&', '||', '+=', '-=', '*=', '/=', '%=', '&=', '|=',
+    '^=', '##',
+]
+
+_ID_RE = re.compile(r'[A-Za-z_][A-Za-z0-9_]*')
+_NUM_RE = re.compile(r'''
+    (?: 0[xX][0-9a-fA-F'.]+ | \.?[0-9][0-9a-fA-F'.eEpPxX+-]* )
+    [uUlLfFzZ]*
+''', re.VERBOSE)
+_RAW_STR_RE = re.compile(r'R"([^()\\ \t\n]*)\(')
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize C++ source text. Never raises on malformed input; unknown
+    bytes become single-char punct tokens."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    line = 1
+    line_start = 0
+
+    def col(pos: int) -> int:
+        return pos - line_start
+
+    def count_lines(start: int, end: int) -> None:
+        nonlocal line, line_start
+        seg = text[start:end]
+        newlines = seg.count('\n')
+        if newlines:
+            line += newlines
+            line_start = start + seg.rindex('\n') + 1
+
+    while i < n:
+        c = text[i]
+        # -- whitespace -----------------------------------------------------
+        if c in ' \t\r\v\f':
+            i += 1
+            continue
+        if c == '\n':
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        # -- comments -------------------------------------------------------
+        if c == '/' and i + 1 < n:
+            nxt = text[i + 1]
+            if nxt == '/':
+                end = text.find('\n', i)
+                i = n if end < 0 else end
+                continue
+            if nxt == '*':
+                end = text.find('*/', i + 2)
+                end = n if end < 0 else end + 2
+                count_lines(i, end)
+                i = end
+                continue
+        # -- preprocessor directives ---------------------------------------
+        if c == '#' and (not tokens or tokens[-1].line != line):
+            start = i
+            while i < n:
+                end = text.find('\n', i)
+                if end < 0:
+                    i = n
+                    break
+                if text[end - 1] == '\\' if end > 0 else False:
+                    i = end + 1
+                    continue
+                i = end
+                break
+            tokens.append(Token('pp', text[start:i], line, col(start)))
+            count_lines(start, i)
+            continue
+        # -- raw strings ----------------------------------------------------
+        if c == 'R' and text.startswith('R"', i):
+            m = _RAW_STR_RE.match(text, i)
+            if m:
+                delim = ')' + m.group(1) + '"'
+                end = text.find(delim, m.end())
+                end = n if end < 0 else end + len(delim)
+                tokens.append(Token('str', text[i:end], line, col(i)))
+                count_lines(i, end)
+                i = end
+                continue
+        # -- string / char literals ----------------------------------------
+        if c in '"\'':
+            start = i
+            i += 1
+            while i < n:
+                if text[i] == '\\':
+                    i += 2
+                    continue
+                if text[i] == c:
+                    i += 1
+                    break
+                if text[i] == '\n':  # unterminated; bail at EOL
+                    break
+                i += 1
+            kind = 'str' if c == '"' else 'chr'
+            tokens.append(Token(kind, text[start:i], line, col(start)))
+            continue
+        # -- identifiers ----------------------------------------------------
+        m = _ID_RE.match(text, i)
+        if m:
+            tokens.append(Token('id', m.group(), line, col(i)))
+            i = m.end()
+            continue
+        # -- numbers --------------------------------------------------------
+        if c.isdigit() or (c == '.' and i + 1 < n and text[i + 1].isdigit()):
+            m = _NUM_RE.match(text, i)
+            if m:
+                tokens.append(Token('num', m.group(), line, col(i)))
+                i = m.end()
+                continue
+        # -- punctuators ----------------------------------------------------
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token('punct', p, line, col(i)))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token('punct', c, line, col(i)))
+            i += 1
+    return tokens
+
+
+def match_balanced(tokens: List[Token], open_idx: int,
+                   pairs={'(': ')', '[': ']', '{': '}', '<': '>'}) -> int:
+    """Index of the token closing tokens[open_idx], or len(tokens).
+
+    '<' is only balanced against '>' when called explicitly with open '<';
+    for '(', '[', '{' the angle brackets are ignored (they are operators).
+    """
+    opener = tokens[open_idx].text
+    closer = pairs[opener]
+    depth = 0
+    for j in range(open_idx, len(tokens)):
+        t = tokens[j].text
+        if t == opener:
+            depth += 1
+        elif t == closer:
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens)

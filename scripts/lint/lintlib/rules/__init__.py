@@ -1,0 +1,37 @@
+"""Rule registry for msropm-lint.
+
+Every rule module exposes:
+  RULE_ID     str
+  CONTRACT    one-line statement of the contract it enforces
+  check(tu)   -> List[Finding]  for one TranslationUnit
+
+Register new rules here; `msropm-lint --list-rules` renders this table.
+The pseudo-rule `lint-suppression` (malformed/unused suppressions) is
+implemented by lintlib.suppress and is always active.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..model import Finding, TranslationUnit
+from . import atomics, determinism, hot_path_alloc, obs_gate, poll_discipline
+
+_MODULES = (obs_gate, poll_discipline, determinism, hot_path_alloc, atomics)
+
+RULES = {m.RULE_ID: m for m in _MODULES}
+
+
+def rule_ids() -> List[str]:
+    return [m.RULE_ID for m in _MODULES]
+
+
+def contracts() -> Dict[str, str]:
+    return {m.RULE_ID: m.CONTRACT for m in _MODULES}
+
+
+def run_rules(tu: TranslationUnit, enabled) -> List[Finding]:
+    findings: List[Finding] = []
+    for rid in enabled:
+        findings.extend(RULES[rid].check(tu))
+    return findings

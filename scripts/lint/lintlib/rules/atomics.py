@@ -1,0 +1,62 @@
+"""atomics-discipline: obs cells and fault/stop gates name their memory
+order explicitly; a defaulted (seq_cst) operation is a contract violation.
+
+Contract (src/obs/README.md overhead contract; src/util/README.md fault-gate
+contract): the thread-local metric cells, trace gate word, fault-site
+counters and stop flags are performance-contracted to relaxed (or
+acquire/release where a happens-before edge is required, e.g. StopToken's
+trip flag).  A defaulted atomic operation silently means seq_cst — a full
+fence on x86 stores and a stronger ordering everywhere — which breaks the
+<= 8 ns disabled-path budgets (BM_ObsSpanOverhead, BM_FaultGateOverhead)
+without failing any test until the bench gate trips.  Naming the order keeps
+the choice reviewable.
+
+Scope: the files in config.ATOMICS_PATHS.  Flagged: any
+load/store/exchange/fetch_*/compare_exchange_*/test_and_set member call
+whose argument list does not mention memory_order.  Not covered (keep the
+operator forms out of these files): `atom = x`, `atom++`, implicit
+conversions — those always mean seq_cst and have no explicit-order spelling.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .. import config
+from ..lexer import match_balanced
+from ..model import Finding, TranslationUnit
+from .common import enclosing_function
+
+RULE_ID = 'atomics-discipline'
+CONTRACT = ('obs cells / fault gates / stop flags name their memory order '
+            'explicitly — defaulted seq_cst breaks the <= 8 ns gate '
+            'budgets (src/obs/README.md, src/util/README.md)')
+
+
+def check(tu: TranslationUnit) -> List[Finding]:
+    if not config.path_in(tu.path, config.ATOMICS_PATHS):
+        return []
+    findings: List[Finding] = []
+    toks = tu.tokens
+    for i, t in enumerate(toks):
+        if t.kind != 'id' or t.text not in config.ATOMIC_ORDERED_OPS:
+            continue
+        if i == 0 or toks[i - 1].text not in ('.', '->'):
+            continue  # not a member call (std::exchange() etc.)
+        if i + 1 >= len(toks) or toks[i + 1].text != '(':
+            continue
+        close = match_balanced(toks, i + 1)
+        args = toks[i + 2:close]
+        # std::memory_order_relaxed tokenizes as one identifier; C++20's
+        # std::memory_order::relaxed as `memory_order :: relaxed`.
+        if any(a.kind == 'id' and a.text.startswith('memory_order')
+               for a in args):
+            continue
+        findings.append(Finding(
+            rule=RULE_ID, file=tu.path, line=t.line, col=t.col,
+            function=enclosing_function(tu, t.line),
+            message=(f'.{t.text}(...) with defaulted memory order (seq_cst) '
+                     'on a contractually relaxed/acq-rel cell: spell the '
+                     'std::memory_order_* explicitly '
+                     '(src/obs/README.md overhead contract)')))
+    return findings

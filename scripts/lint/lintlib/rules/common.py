@@ -1,0 +1,96 @@
+"""Token-level helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from ..lexer import Token
+from ..model import FunctionModel, Stmt, TranslationUnit
+from ..textparse import parse_block
+
+
+def parse_token_body(tokens: List[Token]) -> List[Stmt]:
+    """Parse a raw body token list (e.g. a lambda body) into a statement
+    forest, reusing the function-body parser."""
+    if not tokens:
+        return []
+    closer = Token('punct', '}', tokens[-1].line, 0)
+    stmts, _ = parse_block(list(tokens) + [closer], 0)
+    return stmts
+
+
+def is_call(tokens: Sequence[Token], i: int) -> bool:
+    """tokens[i] is an identifier directly invoked as `name(`."""
+    return (tokens[i].kind == 'id' and i + 1 < len(tokens)
+            and tokens[i + 1].text == '(')
+
+
+def qualified_by(tokens: Sequence[Token], i: int, qualifier: str) -> bool:
+    """tokens[i] is preceded by `qualifier::` (possibly itself preceded by
+    more qualification, e.g. msropm::obs::add)."""
+    return (i >= 2 and tokens[i - 1].text == '::'
+            and tokens[i - 2].kind == 'id' and tokens[i - 2].text == qualifier)
+
+
+def match_backward(tokens: Sequence[Token], close_idx: int) -> int:
+    """Index of the opener matching the closer at close_idx (']' or ')')."""
+    closer = tokens[close_idx].text
+    opener = {']': '[', ')': '(', '}': '{'}[closer]
+    depth = 0
+    for j in range(close_idx, -1, -1):
+        t = tokens[j].text
+        if t == closer:
+            depth += 1
+        elif t == opener:
+            depth -= 1
+            if depth == 0:
+                return j
+    return 0
+
+
+def receiver_root(tokens: Sequence[Token], dot_idx: int) -> Optional[str]:
+    """Leftmost identifier of the receiver chain ending at the '.'/'->' at
+    dot_idx — e.g. `watches_[(~lits[1]).index()].push_back` -> 'watches_'."""
+    j = dot_idx - 1
+    root: Optional[str] = None
+    while j >= 0:
+        t = tokens[j]
+        if t.text in (']', ')'):
+            j = match_backward(tokens, j) - 1
+            continue
+        if t.kind == 'id':
+            root = t.text
+            j -= 1
+            if j >= 0 and tokens[j].text in ('.', '->', '::'):
+                j -= 1
+                continue
+            break
+        break
+    return root
+
+
+def literal_int(text: str) -> Optional[int]:
+    """Parse a C++ integer literal token, or None."""
+    s = text.replace("'", '').rstrip('uUlLzZ')
+    try:
+        return int(s, 0)
+    except ValueError:
+        return None
+
+
+def lambda_token_ids(fn: FunctionModel) -> Set[int]:
+    """Identity set of every token inside one of fn's named lambda bodies,
+    so statement-level scans can skip them (they are analyzed separately
+    with the gating of their call sites)."""
+    out: Set[int] = set()
+    for body in fn.lambda_bodies.values():
+        for t in body:
+            out.add(id(t))
+    return out
+
+
+def enclosing_function(tu: TranslationUnit, line: int) -> str:
+    for fn in tu.functions:
+        if fn.line <= line <= fn.end_line:
+            return fn.qualified
+    return ''

@@ -1,0 +1,109 @@
+"""hot-path-alloc: the designated propagate/analyze/reduce/batch-step hot
+functions must not allocate.
+
+Contract (src/sat/README.md hot-path sections; PR 3/4: "scratch buffers are
+members so analyze/minimize/reduce allocate nothing per conflict"; bench gate
+bench_sat_arena fails when search allocations scale with learnts): functions
+matching config.HOT_FUNCTIONS run per-propagation / per-conflict / per-step
+and may not reach the allocator.
+
+Flagged inside hot functions:
+  * operator new / make_unique / make_shared / malloc & friends;
+  * declarations of allocating locals (std::vector, std::string, ...);
+  * container growth (push_back/emplace_back/resize/insert/...) on a
+    receiver with NO visible capacity setup — a `recv.reserve(...)` (or
+    `recv.assign(n, ...)` sizing call) anywhere in the same translation
+    unit marks `recv` amortized-safe.  `auto& alias = member[...]`
+    aliases resolve to the member's root name.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .. import config
+from ..model import Finding, FunctionModel, TranslationUnit
+from .common import receiver_root
+
+RULE_ID = 'hot-path-alloc'
+CONTRACT = ('no heap allocation or unreserved container growth in the '
+            'propagate/analyze/reduce/batch-step hot functions '
+            '(src/sat/README.md, bench_sat_arena alloc gate)')
+
+_SIZING_CALLS = ('reserve', 'assign', 'resize')
+
+
+def _reserved_roots(tu: TranslationUnit) -> Set[str]:
+    """Roots with a visible capacity setup anywhere in the TU."""
+    roots: Set[str] = set()
+    toks = tu.tokens
+    for i, t in enumerate(toks):
+        if (t.kind == 'id' and t.text in _SIZING_CALLS
+                and i + 1 < len(toks) and toks[i + 1].text == '('
+                and i >= 1 and toks[i - 1].text in ('.', '->')):
+            root = receiver_root(toks, i - 1)
+            if root:
+                roots.add(root)
+    return roots
+
+
+def _alias_map(fn: FunctionModel) -> dict:
+    """`auto& alias = expr;` -> root(expr), one level."""
+    out = {}
+    toks = fn.body_tokens
+    for i, t in enumerate(toks):
+        if (t.kind == 'id' and t.text == 'auto' and i + 2 < len(toks)
+                and toks[i + 1].text == '&' and toks[i + 2].kind == 'id'
+                and i + 3 < len(toks) and toks[i + 3].text == '='):
+            j = i + 4
+            while j < len(toks) and toks[j].kind != 'id':
+                j += 1
+            if j < len(toks):
+                out[toks[i + 2].text] = toks[j].text
+    return out
+
+
+def check(tu: TranslationUnit) -> List[Finding]:
+    reserved = _reserved_roots(tu)
+    findings: List[Finding] = []
+    for fn in tu.functions:
+        if not any(p.search(fn.qualified) for p in config.HOT_FUNCTIONS):
+            continue
+        aliases = _alias_map(fn)
+        toks = fn.body_tokens
+
+        def report(tok, msg: str) -> None:
+            findings.append(Finding(
+                rule=RULE_ID, file=tu.path, line=tok.line, col=tok.col,
+                function=fn.qualified, message=msg))
+
+        for i, t in enumerate(toks):
+            if t.kind != 'id':
+                continue
+            nxt = toks[i + 1].text if i + 1 < len(toks) else ''
+            prev = toks[i - 1].text if i > 0 else ''
+            if t.text == 'new' and prev != 'operator':
+                report(t, 'operator new on a hot path: hot functions must '
+                          'not allocate (use member scratch, see '
+                          'src/sat/README.md)')
+            elif t.text in config.ALLOC_CALLS and nxt == '(':
+                report(t, f'{t.text}() allocates on a hot path: hot '
+                          'functions must not reach the allocator')
+            elif (t.text in config.ALLOCATING_TYPES and nxt == '<'
+                  and prev == '::' and i >= 2 and toks[i - 2].text == 'std'):
+                report(t, f'local std::{t.text} declared on a hot path: its '
+                          'constructor/growth may allocate; hoist it to a '
+                          'member scratch buffer')
+            elif (t.text in config.GROWTH_CALLS and nxt == '('
+                  and prev in ('.', '->')):
+                raw = receiver_root(toks, i - 1)
+                root = aliases.get(raw, raw)
+                # The sizing call may be spelled through either the member
+                # or a local `auto&` alias of it — accept both.
+                if (root is not None and root not in reserved
+                        and raw not in reserved):
+                    report(t, f'{root}.{t.text}(...) may grow an unreserved '
+                              'container on a hot path: reserve() it at '
+                              'setup (any reserve/assign of the receiver in '
+                              'this file satisfies the rule)')
+    return findings

@@ -1,0 +1,180 @@
+"""obs-gate: obs event calls on hot-path-reachable code must be dominated by
+an obs::gate() / metrics_enabled() / tracing_enabled() check.
+
+Contract (src/obs/README.md, "Overhead contract"): every obs entry point is
+internally safe to call ungated, but each ungated call pays its own gate load
+on the hot path.  The codebase discipline is therefore: per-event calls
+(obs::add / set_gauge / observe / record_time / trace_counter /
+trace_instant) reachable from sat::Solver, phase::PhaseBatch, or portfolio
+workers are grouped under ONE dominating gate check.  obs::Span construction
+is exempt (self-gating by design, <= 8 ns hard-gated by BM_ObsSpanOverhead),
+as are the interning calls (counter()/gauge()/timer()/histogram()), which run
+once per process.
+
+Recognized domination patterns:
+
+    if (obs::gate() != 0) { ...events... }
+    if (obs::metrics_enabled()) { ...events... }
+    const auto g = obs::gate();  if (g != 0) { ... }     (cached-load idiom)
+    if (obs::gate() == 0) return ...;  ...events...      (early-out dispatch)
+    void helper() { ...events... }   // every call site of helper() is gated
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .. import config
+from ..lexer import Token
+from ..model import Finding, FunctionModel, Stmt, TranslationUnit
+from ..textparse import find_lambdas
+from .common import lambda_token_ids, parse_token_body
+
+RULE_ID = 'obs-gate'
+CONTRACT = ('per-event obs:: calls on solver/phase/portfolio paths are '
+            'dominated by an obs::gate()-family check '
+            '(src/obs/README.md overhead contract)')
+
+
+def _is_event_call(tokens: List[Token], i: int) -> bool:
+    t = tokens[i]
+    if t.kind != 'id' or t.text not in config.OBS_EVENT_CALLS:
+        return False
+    if i + 1 >= len(tokens) or tokens[i + 1].text != '(':
+        return False
+    return (i >= 2 and tokens[i - 1].text == '::'
+            and tokens[i - 2].text == 'obs')
+
+
+def _cond_gate_state(cond: List[Token]) -> Optional[str]:
+    """'on' if the condition's truth implies the gate is open, 'off' if it
+    implies the gate is closed, None if the condition is gate-unrelated."""
+    gate_idx = None
+    for i, t in enumerate(cond):
+        if t.kind == 'id' and t.text in config.OBS_GATE_TOKENS:
+            gate_idx = i
+            break
+    if gate_idx is None:
+        return None
+    # `!gate...` / `!obs::gate()` — scan the few tokens before the gate
+    # identifier chain for a logical not.
+    j = gate_idx - 1
+    while j >= 0 and cond[j].text in ('::', 'obs', 'msropm'):
+        j -= 1
+    negated = j >= 0 and cond[j].text == '!'
+    # `gate() == 0` / `0 == gate()` — equality with zero after/before.
+    texts = [t.text for t in cond]
+    if '==' in texts and '0' in texts:
+        negated = not negated
+    if '!=' in texts and '0' in texts and negated:
+        # `!(gate() != 0)` is too exotic; treat explicit != 0 as positive.
+        negated = False
+    return 'off' if negated else 'on'
+
+
+def _body_terminates(body: List[Stmt]) -> bool:
+    return any(s.kind == 'return' for s in body)
+
+
+class _Scanner:
+    def __init__(self, fn: FunctionModel):
+        self.fn = fn
+        self.skip_ids = lambda_token_ids(fn)
+        self.events: List[Tuple[Token, bool]] = []   # (token, gated)
+        self.calls: List[Tuple[str, bool]] = []      # (callee name, gated)
+
+    def scan_tokens(self, tokens: List[Token], gated: bool) -> None:
+        for i, t in enumerate(tokens):
+            if id(t) in self.skip_ids:
+                continue
+            if _is_event_call(tokens, i):
+                self.events.append((t, gated))
+            elif (t.kind == 'id' and i + 1 < len(tokens)
+                  and tokens[i + 1].text == '('
+                  and (i == 0 or tokens[i - 1].text not in ('.', '->', '::'))):
+                self.calls.append((t.text, gated))
+
+    def walk(self, stmts: List[Stmt], gated: bool) -> None:
+        rest_gated = gated
+        for s in stmts:
+            if s.kind == 'if':
+                state = _cond_gate_state(s.cond)
+                self.scan_tokens(s.cond, rest_gated)
+                if state == 'on':
+                    self.walk(s.body, True)
+                    self.walk(s.else_body, rest_gated)
+                elif state == 'off':
+                    self.walk(s.body, rest_gated)
+                    self.walk(s.else_body, True)
+                    if _body_terminates(s.body):
+                        rest_gated = True
+                else:
+                    self.walk(s.body, rest_gated)
+                    self.walk(s.else_body, rest_gated)
+            elif s.kind in ('loop', 'block'):
+                self.scan_tokens(s.cond, rest_gated)
+                self.walk(s.body, rest_gated)
+            else:
+                self.scan_tokens(s.tokens, rest_gated)
+
+
+def check(tu: TranslationUnit) -> List[Finding]:
+    if not config.path_in(tu.path, config.OBS_GATE_PATHS):
+        return []
+
+    # Analysis units: every function plus every named local lambda.  Each
+    # lambda model carries its own nested-lambda map so every token is
+    # scanned in exactly one unit (outer scans skip inner lambda bodies).
+    units: List[FunctionModel] = list(tu.functions)
+    lambda_models: Dict[str, FunctionModel] = {}
+    for fn in tu.functions:
+        for lname, body in fn.lambda_bodies.items():
+            body = list(body)
+            lambda_models[lname] = FunctionModel(
+                name=lname, qualified=f'{fn.qualified}::{lname}',
+                file=tu.path, line=body[0].line if body else 0,
+                end_line=body[-1].line if body else 0,
+                body_tokens=body, stmts=parse_token_body(body),
+                lambda_bodies=find_lambdas(body))
+    units.extend(lambda_models.values())
+
+    known = {fn.name for fn in tu.functions} | set(lambda_models)
+    scanners: List[_Scanner] = []
+    # callee -> [(caller name, lexically gated at the call site)]
+    call_sites: Dict[str, List[Tuple[str, bool]]] = {}
+    for model in units:
+        sc = _Scanner(model)
+        sc.walk(model.stmts, False)
+        scanners.append(sc)
+        for name, gated in sc.calls:
+            if name in known:
+                call_sites.setdefault(name, []).append((model.name, gated))
+
+    # Fixpoint over "every call site is gated": a site counts as gated when
+    # it is lexically dominated by a gate check OR its caller is itself
+    # fully gated (note_conflict_obs -> publish_heartbeat chains).
+    gated_names: set = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, sites in call_sites.items():
+            if name in gated_names:
+                continue
+            if all(g or caller in gated_names for caller, g in sites):
+                gated_names.add(name)
+                changed = True
+
+    findings: List[Finding] = []
+    for sc in scanners:
+        if sc.fn.name in gated_names:
+            continue  # helper reachable only through gates
+        for tok, gated in sc.events:
+            if not gated:
+                findings.append(Finding(
+                    rule=RULE_ID, file=tu.path, line=tok.line, col=tok.col,
+                    function=sc.fn.qualified,
+                    message=(f'obs::{tok.text}(...) is not dominated by an '
+                             'obs::gate()/metrics_enabled()/tracing_enabled() '
+                             'check (hot-path event calls are grouped under '
+                             'one gate; see src/obs/README.md)')))
+    return findings

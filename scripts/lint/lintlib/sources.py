@@ -1,0 +1,101 @@
+"""Source discovery for msropm-lint.
+
+Files are addressed repo-relative with forward slashes so that the path
+prefixes in lintlib.config match on any host.  compile_commands.json (from
+CMAKE_EXPORT_COMPILE_COMMANDS=ON, satellite of this PR) supplies per-TU
+arguments to the clang backend; the text backend only needs the file list.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+_EXTS = ('.cpp', '.cc', '.cxx', '.hpp', '.h', '.hh')
+
+
+def repo_root(start: Optional[str] = None) -> str:
+    """Nearest ancestor containing .git, else the start directory."""
+    d = os.path.abspath(start or os.getcwd())
+    while True:
+        if os.path.isdir(os.path.join(d, '.git')):
+            return d
+        parent = os.path.dirname(d)
+        if parent == d:
+            return os.path.abspath(start or os.getcwd())
+        d = parent
+
+
+def rel(root: str, path: str) -> str:
+    return os.path.relpath(os.path.abspath(path), root).replace(os.sep, '/')
+
+
+def discover(root: str, paths: List[str]) -> List[str]:
+    """Expand files/directories into a sorted repo-relative source list."""
+    out: List[str] = []
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(ap):
+            out.append(rel(root, ap))
+            continue
+        for dirpath, dirnames, filenames in os.walk(ap):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if not d.startswith('.')
+                                 and not d.startswith('build'))
+            for fname in sorted(filenames):
+                if fname.endswith(_EXTS):
+                    out.append(rel(root, os.path.join(dirpath, fname)))
+    seen = set()
+    uniq = []
+    for f in out:
+        if f not in seen:
+            seen.add(f)
+            uniq.append(f)
+    return uniq
+
+
+def find_compdb(root: str, explicit: Optional[str]) -> Optional[str]:
+    if explicit:
+        return explicit if os.path.isfile(explicit) else None
+    for cand in ('build/compile_commands.json',
+                 'build-asan/compile_commands.json',
+                 'build-tsan/compile_commands.json',
+                 'compile_commands.json'):
+        p = os.path.join(root, cand)
+        if os.path.isfile(p):
+            return p
+    return None
+
+
+def load_compdb(path: str, root: str) -> Dict[str, List[str]]:
+    """file (repo-relative) -> compiler args (without -c/-o/the file)."""
+    with open(path, encoding='utf-8') as fh:
+        entries = json.load(fh)
+    out: Dict[str, List[str]] = {}
+    for e in entries:
+        f = e.get('file')
+        if not f:
+            continue
+        directory = e.get('directory', '.')
+        fabs = f if os.path.isabs(f) else os.path.join(directory, f)
+        key = rel(root, fabs)
+        if 'arguments' in e:
+            argv = list(e['arguments'])[1:]
+        else:
+            argv = e.get('command', '').split()[1:]
+        args: List[str] = []
+        skip = False
+        for a in argv:
+            if skip:
+                skip = False
+                continue
+            if a in ('-c', '-o'):
+                skip = a == '-o'
+                continue
+            if a == f or a == fabs or a.endswith(os.path.basename(f)) and \
+                    a.endswith(_EXTS):
+                continue
+            args.append(a)
+        out[key] = args
+    return out

@@ -1,0 +1,117 @@
+"""Per-line suppression comments.
+
+Syntax (documented in scripts/lint/README.md):
+
+    some_code();  // msropm-lint: allow(rule-id) reason text
+
+suppresses findings of `rule-id` on that line.  On a line of its own the
+suppression applies to the next non-blank, non-comment line:
+
+    // msropm-lint: allow(hot-path-alloc) amortized by reserve in ctor
+    scratch_.push_back(x);
+
+A reason is mandatory; a suppression without one is ignored and reported as
+a `lint-suppression` finding so it cannot silently rot.  `allow(*)` is
+deliberately not supported — each suppressed rule is named.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .model import Finding
+
+_SUPPRESS_RE = re.compile(
+    r'//\s*msropm-lint:\s*allow\(([A-Za-z0-9_*,\- ]*)\)\s*(.*)$')
+
+
+@dataclass
+class Suppression:
+    rules: Tuple[str, ...]
+    reason: str
+    line: int          # line the comment is on
+    target_line: int   # line it applies to
+    used: bool = False
+
+
+@dataclass
+class FileSuppressions:
+    path: str
+    # target line -> suppressions applying there
+    by_line: Dict[int, List[Suppression]] = field(default_factory=dict)
+    malformed: List[Finding] = field(default_factory=list)
+    entries: List[Suppression] = field(default_factory=list)
+
+
+def _is_comment_or_blank(line: str) -> bool:
+    s = line.strip()
+    return not s or s.startswith('//') or s.startswith('/*') or s.startswith('*')
+
+
+def scan_file(path: str, lines: List[str]) -> FileSuppressions:
+    fs = FileSuppressions(path=path)
+    for idx, raw in enumerate(lines):
+        m = _SUPPRESS_RE.search(raw)
+        if not m:
+            continue
+        lineno = idx + 1
+        rules = tuple(r.strip() for r in m.group(1).split(',') if r.strip())
+        reason = m.group(2).strip()
+        bad = None
+        if not rules:
+            bad = 'allow() names no rule'
+        elif '*' in rules:
+            bad = 'allow(*) is not supported; name each suppressed rule'
+        elif not reason:
+            bad = 'suppression has no reason; append one after allow(...)'
+        if bad:
+            fs.malformed.append(Finding(
+                rule='lint-suppression', file=path, line=lineno,
+                col=raw.find('//'), function='',
+                message=f'malformed suppression: {bad}'))
+            continue
+        target = lineno
+        if _is_comment_or_blank(raw.split('//', 1)[0]):
+            # Standalone comment: applies to the next real line.
+            j = idx + 1
+            while j < len(lines) and _is_comment_or_blank(lines[j]):
+                j += 1
+            target = j + 1
+        sup = Suppression(rules=rules, reason=reason, line=lineno,
+                          target_line=target)
+        fs.by_line.setdefault(target, []).append(sup)
+        fs.entries.append(sup)
+    return fs
+
+
+def apply(findings: List[Finding], sup: Dict[str, FileSuppressions]) -> None:
+    """Mark findings covered by a suppression; flips .suppressed in place."""
+    for f in findings:
+        fs = sup.get(f.file)
+        if fs is None:
+            continue
+        for s in fs.by_line.get(f.line, []):
+            if f.rule in s.rules:
+                f.suppressed = True
+                f.suppress_reason = s.reason
+                s.used = True
+                break
+
+
+def unused(sup: Dict[str, FileSuppressions]) -> List[Finding]:
+    """lint-suppression findings for suppressions that matched nothing —
+    stale suppressions are how contract rot starts, so they fail the run."""
+    out: List[Finding] = []
+    for fs in sup.values():
+        for s in fs.entries:
+            if not s.used:
+                out.append(Finding(
+                    rule='lint-suppression', file=fs.path, line=s.line, col=0,
+                    function='',
+                    message=('unused suppression for '
+                             f'{", ".join(s.rules)}: nothing to allow here '
+                             '(remove it or fix the rule id)')))
+        out.extend(fs.malformed)
+    return out

@@ -1,0 +1,17 @@
+// Fixture: triggers msropm-lint rule `hot-path-alloc` and nothing else.
+// Staged at src/sat/ — Solver::propagate is a configured hot function; the
+// scratch vector has no reserve()/assign() anywhere in the file.
+#include <vector>
+
+namespace msropm::sat {
+
+struct Solver {
+  void propagate();
+  std::vector<int> scratch_;
+};
+
+void Solver::propagate() {
+  scratch_.push_back(1);  // BAD: unreserved growth on a hot path
+}
+
+}  // namespace msropm::sat

@@ -1,0 +1,16 @@
+// Fixture: same trigger as alloc_bad.cpp but suppressed — must lint clean.
+#include <vector>
+
+namespace msropm::sat {
+
+struct Solver {
+  void propagate();
+  std::vector<int> scratch_;
+};
+
+void Solver::propagate() {
+  // msropm-lint: allow(hot-path-alloc) fixture: exercising the suppression syntax
+  scratch_.push_back(1);
+}
+
+}  // namespace msropm::sat

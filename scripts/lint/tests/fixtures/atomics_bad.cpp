@@ -1,0 +1,19 @@
+// Fixture: triggers msropm-lint rule `atomics-discipline` and nothing else.
+// Staged at src/obs/ — operations on contracted atomic cells must name
+// their memory order explicitly.
+#include <atomic>
+#include <cstdint>
+
+namespace msropm::obs {
+
+std::atomic<std::uint32_t> g_cell{0};
+
+std::uint32_t read_cell() {
+  return g_cell.load();  // BAD: defaulted memory order (seq_cst)
+}
+
+std::uint32_t read_cell_relaxed() {
+  return g_cell.load(std::memory_order_relaxed);  // fine: explicit order
+}
+
+}  // namespace msropm::obs

@@ -1,0 +1,13 @@
+// Fixture: same trigger as atomics_bad.cpp but suppressed — must lint clean.
+#include <atomic>
+#include <cstdint>
+
+namespace msropm::obs {
+
+std::atomic<std::uint32_t> g_cell{0};
+
+std::uint32_t read_cell() {
+  return g_cell.load();  // msropm-lint: allow(atomics-discipline) fixture: exercising the suppression syntax
+}
+
+}  // namespace msropm::obs

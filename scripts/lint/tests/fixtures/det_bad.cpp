@@ -1,0 +1,13 @@
+// Fixture: triggers msropm-lint rule `determinism` and nothing else.
+// Staged at src/solvers/ — result-producing code must draw randomness
+// through util::Rng, never ambient engines.
+#include <random>
+
+namespace msropm {
+
+int noisy_pick(int n) {
+  std::mt19937 engine(12345);  // BAD: ambient engine instead of util::Rng
+  return static_cast<int>(engine() % static_cast<unsigned>(n));
+}
+
+}  // namespace msropm

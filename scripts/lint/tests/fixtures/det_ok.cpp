@@ -1,0 +1,12 @@
+// Fixture: same trigger as det_bad.cpp but suppressed — must lint clean.
+#include <random>
+
+namespace msropm {
+
+int noisy_pick(int n) {
+  // msropm-lint: allow(determinism) fixture: exercising the suppression syntax
+  std::mt19937 engine(12345);
+  return static_cast<int>(engine() % static_cast<unsigned>(n));
+}
+
+}  // namespace msropm

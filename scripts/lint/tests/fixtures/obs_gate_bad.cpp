@@ -1,0 +1,21 @@
+// Fixture: triggers msropm-lint rule `obs-gate` and nothing else.
+// The self-test stages this file at src/sat/ inside a scratch tree.
+#include <cstdint>
+
+namespace msropm::obs {
+std::uint32_t gate();
+void add(std::uint64_t id, std::uint64_t delta);
+}  // namespace msropm::obs
+
+namespace msropm::sat {
+namespace obs = msropm::obs;
+
+void note_event_ungated(std::uint64_t id) {
+  obs::add(id, 1);  // BAD: per-event call with no dominating gate check
+}
+
+void note_event_gated(std::uint64_t id) {
+  if (obs::gate() != 0) obs::add(id, 1);  // fine: gate-dominated
+}
+
+}  // namespace msropm::sat

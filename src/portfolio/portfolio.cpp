@@ -402,10 +402,13 @@ std::vector<PortfolioResult> run_portfolio_batch(
   const auto run_task = [&](std::size_t i, std::size_t s) {
     InstanceState& state = states[i];
     const StrategyConfig& config = options.strategies[s];
+    // One gate load per task; every per-event obs call below hangs off it so
+    // the disabled path pays nothing beyond this (obs-gate contract).
+    const std::uint32_t obs_gate = obs::gate();
     {
       std::lock_guard<std::mutex> lock(state.mu);
       if (state.decided) {
-        obs::add(pm().c_skipped, 1);
+        if (obs_gate != 0) obs::add(pm().c_skipped, 1);
         return;  // outcome stays ran == false (skipped)
       }
     }
@@ -439,7 +442,7 @@ std::vector<PortfolioResult> run_portfolio_batch(
       if (util::fault::fire(util::FaultSite::kWorkerStall)) {
         // The stall fault models a descheduled / wedged worker, not a dead
         // one: sleep, then run the attempt normally. Siblings keep racing.
-        obs::add(pm().c_fault_stalls, 1);
+        if (obs_gate != 0) obs::add(pm().c_fault_stalls, 1);
         std::this_thread::sleep_for(
             std::chrono::milliseconds(util::fault::stall_ms()));
       }
@@ -471,33 +474,37 @@ std::vector<PortfolioResult> run_portfolio_batch(
         break;
       }
       ++retries;
-      obs::add(pm().c_retries, 1);
+      if (obs_gate != 0) obs::add(pm().c_retries, 1);
       if (options.retry_backoff_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(
             static_cast<std::uint64_t>(options.retry_backoff_ms)
             << (retries - 1)));
       }
     }
-    if (retries > 0) obs::observe(pm().h_retry_count, retries);
+    if (retries > 0 && obs_gate != 0) obs::observe(pm().h_retry_count, retries);
     note_limit_obs(run.limit);
     const double task_millis = millis_since(task_start);
-    obs::add(pm().c_attempts, 1);
+    if (obs_gate != 0) obs::add(pm().c_attempts, 1);
     if (run.cancelled) {
       if (const auto trip = token.flag_trip_time()) {
-        // Sibling cancellation: latency from the StopSource trip to this
-        // worker actually exiting the strategy.
-        const auto latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                    Clock::now() - *trip)
-                                    .count();
-        obs::add(pm().c_cancelled, 1);
-        obs::observe(pm().h_cancel_latency,
-                     static_cast<std::uint64_t>(latency_ns / 1000));
-        obs::trace_instant("cancelled", "latency_us",
-                           static_cast<std::uint64_t>(latency_ns / 1000));
+        if (obs_gate != 0) {
+          // Sibling cancellation: latency from the StopSource trip to this
+          // worker actually exiting the strategy.
+          const auto latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                      Clock::now() - *trip)
+                                      .count();
+          obs::add(pm().c_cancelled, 1);
+          obs::observe(pm().h_cancel_latency,
+                       static_cast<std::uint64_t>(latency_ns / 1000));
+          obs::trace_instant("cancelled", "latency_us",
+                             static_cast<std::uint64_t>(latency_ns / 1000));
+        }
       } else if (token.deadline_expired()) {
-        obs::add(pm().c_timeouts, 1);
+        if (obs_gate != 0) {
+          obs::add(pm().c_timeouts, 1);
+          obs::trace_instant("timeout", "instance", i);
+        }
         hb_timeouts.fetch_add(1, std::memory_order_relaxed);
-        obs::trace_instant("timeout", "instance", i);
       }
     }
 
@@ -527,9 +534,11 @@ std::vector<PortfolioResult> run_portfolio_batch(
         state.result.coloring = std::move(run.coloring);
       }
       state.stop.request_stop();  // cancel sibling strategies cooperatively
-      obs::add(pm().c_wins, 1);
+      if (obs_gate != 0) {
+        obs::add(pm().c_wins, 1);
+        obs::trace_instant(win_marker_name(config.kind), "instance", i);
+      }
       hb_wins.fetch_add(1, std::memory_order_relaxed);
-      obs::trace_instant(win_marker_name(config.kind), "instance", i);
     }
   };
 
@@ -616,7 +625,7 @@ std::vector<PortfolioResult> run_portfolio_batch(
       }
     }
     if (!options.degrade) continue;
-    obs::add(pm().c_degraded, 1);
+    if (obs::metrics_enabled()) obs::add(pm().c_degraded, 1);
     const graph::Graph& g = *jobs[i].graph;
     const std::size_t edges = g.num_edges();
     const auto quality_of = [&](const graph::Coloring& colors) {

@@ -123,7 +123,7 @@ SolveResult IncrementalColoringSolver::solve_k(unsigned k) {
   const SolveResult result = solver_->solve(assumptions_);
   span.arg("conflicts", solver_->stats().conflicts - conflicts_before);
   span.arg("result", static_cast<std::uint64_t>(result));
-  obs::add(c_rounds, 1);
+  if (obs::metrics_enabled()) obs::add(c_rounds, 1);
   ++solve_calls_;
   if (result == SolveResult::kSat) {
     coloring_ = enc_.decode(solver_->model());

@@ -147,6 +147,12 @@ void Solver::setup_arrays(std::size_t num_vars) {
   reason_.assign(num_vars, Reason::none());
   activity_.assign(num_vars, 0.0);
   seen_.assign(num_vars, 0);
+  // Conflict-analysis scratch is var-bounded: every entry is pushed under a
+  // fresh seen_ mark. Reserving here keeps analyze()/lit_redundant()
+  // allocation-free from the first conflict on.
+  analyze_cleanup_.reserve(num_vars);
+  minimize_stack_.reserve(num_vars);
+  minimize_clear_.reserve(num_vars);
 }
 
 void Solver::ingest_clause(Clause&& lits, std::vector<ClauseRef>& stored,
@@ -569,6 +575,7 @@ void Solver::backtrack(std::uint32_t target_level) {
     // and rejoin it the moment backtracking unassigns them. Before the
     // first conflict the heap is not engaged (see pick_branch_lit) and
     // insert() would be wasted work on a structure build() will overwrite.
+    // msropm-lint: allow(hot-path-alloc) heap_ capacity stays num_vars from build(); pops only shrink size, so insert() never reallocates
     if (heap_active_) order_heap_.insert(v);
   }
   trail_.resize(bound);
@@ -650,6 +657,7 @@ void Solver::reduce_learnts() {
   obs::Span reduce_span("sat.reduce_gc", sm().t_reduce);
   auto& candidates = reduce_candidates_;
   candidates.clear();
+  candidates.reserve(learnt_refs_.size());
   for (ClauseRef cr : learnt_refs_) candidates.push_back(cr);
   std::sort(candidates.begin(), candidates.end(),
             [this](ClauseRef a, ClauseRef b) {
